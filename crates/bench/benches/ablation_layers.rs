@@ -1,0 +1,15 @@
+//! Layer ablation: WV_RFIFO vs VS_RFIFO+TS vs the full GCS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::ablation_layers().render());
+    let mut g = c.benchmark_group("ABL_layers");
+    g.sample_size(10);
+    g.bench_function("all_layers", |b| b.iter(experiments::ablation_layers));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E10 — §9 two-tier aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e10_aggregation(&[4, 8, 16, 32]).render());
+    let mut g = c.benchmark_group("E10_aggregation");
+    g.sample_size(10);
+    for n in [8usize, 16] {
+        g.bench_with_input(BenchmarkId::new("view_change", n), &n, |b, &n| {
+            b.iter(|| experiments::e10_aggregation(&[n]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

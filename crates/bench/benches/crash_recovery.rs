@@ -1,0 +1,19 @@
+//! E8 — crash/recovery without stable storage (§8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e8_crash_recovery(&[1, 2, 3]).render());
+    let mut g = c.benchmark_group("E8_crash_recovery");
+    g.sample_size(10);
+    for f in [1usize, 3] {
+        g.bench_with_input(BenchmarkId::new("failures", f), &f, |b, &f| {
+            b.iter(|| experiments::e8_crash_recovery(&[f]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E6 — forwarding strategies: eager vs min-copy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e6_forwarding(&[4, 8, 16]).render());
+    let mut g = c.benchmark_group("E6_forwarding");
+    g.sample_size(10);
+    {
+        let n = 8usize;
+        g.bench_with_input(BenchmarkId::new("recovery_scenario", n), &n, |b, &n| {
+            b.iter(|| experiments::e6_forwarding(&[n]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

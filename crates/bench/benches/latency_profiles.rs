@@ -1,0 +1,15 @@
+//! E12 — view-change cost across network latency profiles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e12_latency_profiles(8).render());
+    let mut g = c.benchmark_group("E12_latency_profiles");
+    g.sample_size(10);
+    g.bench_function("profile_sweep", |b| b.iter(|| experiments::e12_latency_profiles(8)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E3 — views delivered under cascaded membership changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e3_obsolete_views(&[1, 2, 4, 8]).render());
+    let mut g = c.benchmark_group("E3_obsolete_views");
+    g.sample_size(10);
+    for k in [2usize, 8] {
+        g.bench_with_input(BenchmarkId::new("cascade_depth", k), &k, |b, &k| {
+            b.iter(|| experiments::e3_obsolete_views(&[k]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E4 — application progress across a reconfiguration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e4_reconfig_delivery().render());
+    let mut g = c.benchmark_group("E4_reconfig_delivery");
+    g.sample_size(10);
+    g.bench_function("burst_through_reconfig", |b| {
+        b.iter(experiments::e4_reconfig_delivery)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

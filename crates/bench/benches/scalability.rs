@@ -1,0 +1,19 @@
+//! E9 — client-server scalability: server traffic independent of clients.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e9_scalability(&[8, 32, 64], &[2, 4]).render());
+    let mut g = c.benchmark_group("E9_scalability");
+    g.sample_size(10);
+    for clients in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("clients", clients), &clients, |b, &n| {
+            b.iter(|| experiments::e9_scalability(&[n], &[2]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

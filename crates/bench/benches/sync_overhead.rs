@@ -1,0 +1,17 @@
+//! E7 — §5.2.4 slim synchronization messages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e7_sync_overhead(&[4, 8, 16]).render());
+    let mut g = c.benchmark_group("E7_sync_overhead");
+    g.sample_size(10);
+    g.bench_function("join_view_change", |b| {
+        b.iter(|| experiments::e7_sync_overhead(&[8]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E11 — totally ordered multicast atop the FIFO service.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsgm_harness::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::e11_total_order(6, 5).render());
+    let mut g = c.benchmark_group("E11_total_order");
+    g.sample_size(10);
+    g.bench_function("order_burst", |b| {
+        b.iter(|| experiments::e11_total_order(6, 5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

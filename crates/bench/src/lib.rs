@@ -1,0 +1,3 @@
+//! Benchmark-hosting package; see the `benches/` directory. Each bench
+//! target regenerates one experiment table from `EXPERIMENTS.md` (printed
+//! once at startup) and then times its measurement kernel with Criterion.

@@ -1,0 +1,136 @@
+//! A reference blocking application client (Fig. 12).
+
+use std::collections::VecDeque;
+use vsgm_types::AppMsg;
+
+/// Client-side block-handshake status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Status {
+    #[default]
+    Unblocked,
+    Requested,
+    Blocked,
+}
+
+/// A well-behaved application client per the `CLIENT:SPEC` automaton
+/// (Fig. 12): it eventually answers every `block` with `block_ok` and
+/// then refrains from sending until a view is delivered.
+///
+/// Messages the application wants to send while blocked are queued and
+/// released on the next view, so application code never has to care about
+/// reconfiguration timing.
+///
+/// ```
+/// use vsgm_core::BlockingClient;
+/// use vsgm_types::AppMsg;
+///
+/// let mut client = BlockingClient::new();
+/// assert_eq!(client.want_send(AppMsg::from("a")), Some(AppMsg::from("a")));
+/// client.on_block();
+/// assert!(client.ack_block()); // emits block_ok
+/// assert_eq!(client.want_send(AppMsg::from("b")), None); // queued
+/// let released = client.on_view();
+/// assert_eq!(released, vec![AppMsg::from("b")]);
+/// ```
+#[derive(Debug, Default)]
+pub struct BlockingClient {
+    status: Status,
+    queued: VecDeque<AppMsg>,
+}
+
+impl BlockingClient {
+    /// Creates an unblocked client with an empty queue.
+    pub fn new() -> Self {
+        BlockingClient::default()
+    }
+
+    /// Input `block_p()` from the GCS.
+    pub fn on_block(&mut self) {
+        self.status = Status::Requested;
+    }
+
+    /// Emits `block_ok_p()` if a block was requested. Returns whether the
+    /// acknowledgment fired (callers forward it to the end-point as
+    /// [`crate::Input::BlockOk`]).
+    pub fn ack_block(&mut self) -> bool {
+        if self.status == Status::Requested {
+            self.status = Status::Blocked;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The application wants to multicast `m`. Returns `Some(m)` when the
+    /// send may proceed now, `None` when it was queued because the client
+    /// is blocked.
+    pub fn want_send(&mut self, m: AppMsg) -> Option<AppMsg> {
+        if self.status == Status::Blocked {
+            self.queued.push_back(m);
+            None
+        } else {
+            Some(m)
+        }
+    }
+
+    /// Input `view_p(v, T)` from the GCS: unblocks and releases queued
+    /// sends, in order.
+    pub fn on_view(&mut self) -> Vec<AppMsg> {
+        self.status = Status::Unblocked;
+        self.queued.drain(..).collect()
+    }
+
+    /// Whether the client is currently blocked.
+    pub fn is_blocked(&self) -> bool {
+        self.status == Status::Blocked
+    }
+
+    /// Number of messages waiting for the next view.
+    pub fn queued_len(&self) -> usize {
+        self.queued.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sends_pass_through_while_unblocked() {
+        let mut c = BlockingClient::new();
+        assert_eq!(c.want_send(AppMsg::from("x")), Some(AppMsg::from("x")));
+        assert!(!c.is_blocked());
+    }
+
+    #[test]
+    fn ack_only_after_request() {
+        let mut c = BlockingClient::new();
+        assert!(!c.ack_block(), "no spurious block_ok");
+        c.on_block();
+        assert!(c.ack_block());
+        assert!(!c.ack_block(), "block_ok fires once");
+        assert!(c.is_blocked());
+    }
+
+    #[test]
+    fn sends_queue_while_blocked_and_release_on_view() {
+        let mut c = BlockingClient::new();
+        c.on_block();
+        c.ack_block();
+        assert_eq!(c.want_send(AppMsg::from("a")), None);
+        assert_eq!(c.want_send(AppMsg::from("b")), None);
+        assert_eq!(c.queued_len(), 2);
+        let released = c.on_view();
+        assert_eq!(released, vec![AppMsg::from("a"), AppMsg::from("b")]);
+        assert!(!c.is_blocked());
+        assert_eq!(c.queued_len(), 0);
+    }
+
+    #[test]
+    fn sends_allowed_between_block_and_ack() {
+        // Fig. 12: the client may keep sending until it answers block_ok.
+        let mut c = BlockingClient::new();
+        c.on_block();
+        assert_eq!(c.want_send(AppMsg::from("late")), Some(AppMsg::from("late")));
+    }
+}

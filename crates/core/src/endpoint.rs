@@ -1,0 +1,908 @@
+//! The GCS end-point: composition of the three layers.
+
+use crate::config::Config;
+use crate::forward::ForwardCmd;
+use crate::state::{State, SyncRecord};
+use crate::{sd, vs, wv};
+use vsgm_ioa::Automaton;
+use vsgm_types::{
+    AppMsg, FwdPayload, NetMsg, ProcSet, ProcessId, StartChangeId, SyncPayload, View,
+};
+
+/// An input action of the end-point (inputs are always enabled; effects
+/// are disabled while crashed, §8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// `send_p(m)` from the local application.
+    AppSend(AppMsg),
+    /// `block_ok_p()` from the local application (Fig. 11).
+    BlockOk,
+    /// `mbrshp.start_change_p(cid, set)` from the membership service.
+    StartChange {
+        /// Locally unique start-change identifier.
+        cid: StartChangeId,
+        /// Suggested membership.
+        set: ProcSet,
+    },
+    /// `mbrshp.view_p(v)` from the membership service.
+    MbrshpView(View),
+    /// `co_rfifo.deliver_{q,p}(m)` from the transport.
+    Net {
+        /// The sending peer.
+        from: ProcessId,
+        /// The wire message.
+        msg: NetMsg,
+    },
+    /// `crash_p()` (§8).
+    Crash,
+    /// `recover_p()` (§8) — restart with initial state, same identity.
+    Recover,
+}
+
+/// An externally visible effect of the end-point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// `deliver_p(q, m)`: hand `msg` from `from` to the local application.
+    DeliverApp {
+        /// Original sender.
+        from: ProcessId,
+        /// The delivered payload.
+        msg: AppMsg,
+    },
+    /// `view_p(v, T)`: install a view with its transitional set.
+    InstallView {
+        /// The new view.
+        view: View,
+        /// The transitional set (Property 4.1).
+        transitional: ProcSet,
+    },
+    /// `block_p()`: ask the application to stop sending.
+    Block,
+    /// `co_rfifo.send_p(set, m)`: hand a message to the transport.
+    NetSend {
+        /// Destination set.
+        to: ProcSet,
+        /// The wire message.
+        msg: NetMsg,
+    },
+    /// `co_rfifo.reliable_p(set)`: reconfigure the transport's reliable
+    /// connections.
+    SetReliable(ProcSet),
+}
+
+/// A locally controlled action, in canonical firing order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// `co_rfifo.reliable_p(set)`.
+    SetReliable,
+    /// `co_rfifo.send_p(…, tag=view_msg, v)`.
+    SendViewMsg,
+    /// `co_rfifo.send_p(…, tag=sync_msg, …)` (Fig. 10/11).
+    SendSyncMsg,
+    /// `block_p()` (Fig. 11).
+    Block,
+    /// §9 extension: the aggregation leader flushes its batch.
+    FlushAgg,
+    /// `co_rfifo.send_p(…, tag=app_msg, m)`.
+    SendAppMsg,
+    /// `deliver_p(q, m)`: deliver the next message from `q`.
+    DeliverApp(ProcessId),
+    /// `view_p(v, T)`.
+    DeliverView,
+    /// `co_rfifo.send_p(…, tag=fwd_msg, …)` per the forwarding strategy.
+    Forward(ForwardCmd),
+}
+
+/// The driving interface shared by every group-multicast end-point in
+/// this workspace (the paper's algorithm in this crate and the two-round
+/// pre-agreement baseline in `vsgm-baseline`), letting the simulation
+/// harness and experiments run either behind the same scenarios.
+pub trait GroupEndpoint {
+    /// The end-point's identity.
+    fn pid(&self) -> ProcessId;
+    /// Applies one input action, returning immediate effects.
+    fn handle(&mut self, input: Input) -> Vec<Effect>;
+    /// Fires every enabled locally controlled action until quiescence.
+    fn poll(&mut self) -> Vec<Effect>;
+    /// The view last delivered to the application.
+    fn current_view(&self) -> &View;
+    /// Whether a view change is in progress.
+    fn reconfiguring(&self) -> bool;
+    /// Whether the end-point is crashed.
+    fn is_crashed(&self) -> bool;
+}
+
+impl GroupEndpoint for Endpoint {
+    fn pid(&self) -> ProcessId {
+        Endpoint::pid(self)
+    }
+    fn handle(&mut self, input: Input) -> Vec<Effect> {
+        Endpoint::handle(self, input)
+    }
+    fn poll(&mut self) -> Vec<Effect> {
+        Endpoint::poll(self)
+    }
+    fn current_view(&self) -> &View {
+        Endpoint::current_view(self)
+    }
+    fn reconfiguring(&self) -> bool {
+        Endpoint::reconfiguring(self)
+    }
+    fn is_crashed(&self) -> bool {
+        Endpoint::is_crashed(self)
+    }
+}
+
+/// Running protocol counters for one end-point, exposed via
+/// [`Endpoint::stats`] so deployments can monitor reconfiguration and
+/// traffic behavior without instrumenting the transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Views installed (application-visible `view(v, T)` events).
+    pub views_installed: u64,
+    /// Own application messages multicast via `CO_RFIFO`.
+    pub msgs_sent: u64,
+    /// Application messages delivered locally (own and peers').
+    pub msgs_delivered: u64,
+    /// Synchronization messages produced (one per answered change).
+    pub syncs_sent: u64,
+    /// Forwarded-message sends performed on behalf of other end-points.
+    pub forwards_sent: u64,
+    /// Block requests issued to the application.
+    pub blocks: u64,
+}
+
+/// A GCS end-point: the executable `GCS_p` automaton (or a configured
+/// prefix of its inheritance chain — see [`Config::stack`]).
+///
+/// Drive it by feeding [`Input`]s with [`Endpoint::handle`] and letting it
+/// fire its enabled locally controlled actions, either one at a time
+/// through the [`Automaton`] interface (for schedule-exploring tests) or
+/// in bulk with [`Endpoint::poll`].
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    cfg: Config,
+    st: State,
+    stats: EndpointStats,
+}
+
+impl Endpoint {
+    /// Creates an end-point with identity `pid` in its initial singleton
+    /// view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` enables both `implicit_cuts` and `aggregation`:
+    /// leader-relayed synchronization messages do not ride the sender's
+    /// FIFO stream, so their positions carry no meaning.
+    pub fn new(pid: ProcessId, cfg: Config) -> Self {
+        assert!(
+            !(cfg.implicit_cuts && cfg.aggregation),
+            "implicit_cuts and aggregation are mutually exclusive"
+        );
+        Endpoint { cfg, st: State::new(pid), stats: EndpointStats::default() }
+    }
+
+    /// Running protocol counters (reset on §8 recovery, like the rest of
+    /// the volatile state).
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// This end-point's identity.
+    pub fn pid(&self) -> ProcessId {
+        self.st.pid
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The view last delivered to the application.
+    pub fn current_view(&self) -> &View {
+        &self.st.current_view
+    }
+
+    /// Whether a view change is pending (`start_change ≠ ⊥`).
+    pub fn reconfiguring(&self) -> bool {
+        self.st.start_change.is_some()
+    }
+
+    /// Whether the end-point is crashed (§8).
+    pub fn is_crashed(&self) -> bool {
+        self.st.crashed
+    }
+
+    /// Read access to the full state (for checkers, strategies, tests).
+    pub fn state(&self) -> &State {
+        &self.st
+    }
+
+    /// Applies one input action. Returns any immediate effects (only the
+    /// §9 aggregation relay produces effects from inputs; everything else
+    /// surfaces through the locally controlled actions).
+    pub fn handle(&mut self, input: Input) -> Vec<Effect> {
+        if self.st.crashed {
+            if input == Input::Recover {
+                self.st.reset();
+                self.stats = EndpointStats::default();
+            }
+            return Vec::new(); // §8: input effects disabled while crashed
+        }
+        match input {
+            Input::AppSend(m) => {
+                wv::on_app_send(&mut self.st, m);
+                Vec::new()
+            }
+            Input::BlockOk => {
+                if self.cfg.stack.has_sd() {
+                    sd::on_block_ok(&mut self.st);
+                }
+                Vec::new()
+            }
+            Input::StartChange { cid, set } => {
+                if self.cfg.stack.has_vs() {
+                    vs::on_start_change(&mut self.st, cid, set);
+                }
+                Vec::new()
+            }
+            Input::MbrshpView(v) => {
+                wv::on_mbrshp_view(&mut self.st, v);
+                Vec::new()
+            }
+            Input::Net { from, msg } => self.handle_net(from, msg),
+            Input::Crash => {
+                self.st.crashed = true;
+                Vec::new()
+            }
+            Input::Recover => Vec::new(), // not crashed: no-op
+        }
+    }
+
+    fn handle_net(&mut self, from: ProcessId, msg: NetMsg) -> Vec<Effect> {
+        match msg {
+            NetMsg::ViewMsg(v) => {
+                wv::on_view_msg(&mut self.st, from, v);
+                Vec::new()
+            }
+            NetMsg::App(m) => {
+                wv::on_app_msg(&mut self.st, from, m);
+                Vec::new()
+            }
+            NetMsg::Fwd(f) => {
+                wv::on_fwd_msg(&mut self.st, f);
+                Vec::new()
+            }
+            NetMsg::Sync(payload) => {
+                if !self.cfg.stack.has_vs() {
+                    return Vec::new();
+                }
+                let rec = vs::on_sync(&mut self.st, from, &payload);
+                self.maybe_relay_as_leader(from, payload.cid, rec)
+            }
+            NetMsg::SyncAgg(entries) => {
+                if !self.cfg.stack.has_vs() {
+                    return Vec::new();
+                }
+                for (sender, payload) in entries {
+                    if sender != self.st.pid {
+                        vs::on_sync(&mut self.st, sender, &payload);
+                    }
+                }
+                Vec::new()
+            }
+            // Baseline-protocol traffic is not ours; tolerate and drop it
+            // (mixed deployments only occur in comparative experiments).
+            NetMsg::Baseline(_) => Vec::new(),
+        }
+    }
+
+    /// §9 leader logic: buffer incoming syncs; once the batch has been
+    /// flushed, relay stragglers immediately.
+    fn maybe_relay_as_leader(
+        &mut self,
+        from: ProcessId,
+        cid: StartChangeId,
+        rec: SyncRecord,
+    ) -> Vec<Effect> {
+        if !self.cfg.aggregation {
+            return Vec::new();
+        }
+        let Some(sc_set) = self.st.agg_scope.clone() else { return Vec::new() };
+        if vs::leader(&sc_set) != Some(self.st.pid) {
+            return Vec::new();
+        }
+        self.st.agg_buffer.insert(from, (cid, rec.clone()));
+        if self.st.agg_flushed {
+            let to: ProcSet =
+                sc_set.iter().copied().filter(|q| *q != self.st.pid && *q != from).collect();
+            if to.is_empty() {
+                return Vec::new();
+            }
+            let payload = SyncPayload { cid, view: rec.view, cut: rec.cut };
+            return vec![Effect::NetSend { to, msg: NetMsg::SyncAgg(vec![(from, payload)]) }];
+        }
+        Vec::new()
+    }
+
+    fn reliable_target(&self) -> ProcSet {
+        if self.cfg.stack.has_vs() {
+            vs::reliable_target(&self.st)
+        } else {
+            self.st.current_view.members().clone()
+        }
+    }
+
+    fn deliver_enabled(&self, q: ProcessId) -> bool {
+        let Some(_) = wv::deliver_pre(&self.st, q) else { return false };
+        if self.cfg.stack.has_vs() {
+            if let Some(bound) = vs::delivery_bound(&self.st, q) {
+                return self.st.dlvrd(q) < bound;
+            }
+        }
+        true
+    }
+
+    fn view_enabled(&self) -> Option<ProcSet> {
+        if !wv::view_pre(&self.st) {
+            return None;
+        }
+        if self.cfg.stack.has_vs() {
+            vs::view_restriction_with(&self.st, self.cfg.implicit_cuts)
+        } else {
+            Some(self.st.mbrshp_view.intersection(&self.st.current_view).collect())
+        }
+    }
+
+    fn flush_agg_enabled(&self) -> bool {
+        if !(self.cfg.aggregation && self.cfg.stack.has_vs()) {
+            return false;
+        }
+        let Some((cid, sc_set)) = &self.st.start_change else { return false };
+        if vs::leader(sc_set) != Some(self.st.pid) || self.st.agg_flushed {
+            return false;
+        }
+        if self.st.agg_buffer.is_empty() {
+            return false;
+        }
+        let complete = sc_set.iter().all(|q| self.st.agg_buffer.contains_key(q));
+        let view_arrived = self.st.mbrshp_view.start_id(self.st.pid) == Some(*cid);
+        complete || view_arrived
+    }
+
+    /// Fires every enabled locally controlled action, in canonical order,
+    /// until quiescence; returns the accumulated effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the end-point fails to quiesce within a large internal
+    /// step bound (indicates a livelock bug).
+    pub fn poll(&mut self) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let mut steps = 0usize;
+        loop {
+            let actions = self.enabled_actions();
+            let Some(action) = actions.first().cloned() else { return effects };
+            effects.extend(self.fire(&action));
+            steps += 1;
+            assert!(steps < 1_000_000, "endpoint livelock: {action:?} keeps firing");
+        }
+    }
+}
+
+impl Automaton for Endpoint {
+    type Action = Action;
+    type Effect = Effect;
+
+    fn enabled_actions(&self) -> Vec<Action> {
+        if self.st.crashed {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        if self.reliable_target() != self.st.reliable_set {
+            out.push(Action::SetReliable);
+        }
+        if wv::send_view_msg_pre(&self.st) {
+            out.push(Action::SendViewMsg);
+        }
+        if self.cfg.stack.has_vs()
+            && vs::send_sync_pre(&self.st, self.cfg.implicit_cuts)
+            && (!self.cfg.stack.has_sd() || sd::sync_restriction(&self.st))
+        {
+            out.push(Action::SendSyncMsg);
+        }
+        if self.cfg.stack.has_sd() && sd::block_pre(&self.st) {
+            out.push(Action::Block);
+        }
+        if self.flush_agg_enabled() {
+            out.push(Action::FlushAgg);
+        }
+        if wv::send_app_msg_pre(&self.st).is_some() {
+            out.push(Action::SendAppMsg);
+        }
+        for q in self.st.current_view.members() {
+            if self.deliver_enabled(*q) {
+                out.push(Action::DeliverApp(*q));
+            }
+        }
+        if self.view_enabled().is_some() {
+            out.push(Action::DeliverView);
+        }
+        if self.cfg.stack.has_vs() {
+            for cmd in self.cfg.forward.candidates(&self.st) {
+                out.push(Action::Forward(cmd));
+            }
+        }
+        out
+    }
+
+    fn fire(&mut self, action: &Action) -> Vec<Effect> {
+        debug_assert!(!self.st.crashed, "fire while crashed");
+        match action {
+            Action::SetReliable => {
+                let target = self.reliable_target();
+                self.st.reliable_set = target.clone();
+                vec![Effect::SetReliable(target)]
+            }
+            Action::SendViewMsg => {
+                let (set, msg) = wv::send_view_msg_eff(&mut self.st);
+                if set.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Effect::NetSend { to: set, msg }]
+                }
+            }
+            Action::SendSyncMsg => {
+                self.stats.syncs_sent += 1;
+                let plan = vs::send_sync_eff(
+                    &mut self.st,
+                    self.cfg.slim_sync,
+                    self.cfg.aggregation,
+                    self.cfg.implicit_cuts,
+                );
+                let pid = self.st.pid;
+                let latest = self.st.latest_sync_cid.entry(pid).or_insert(plan.cid);
+                if plan.cid > *latest {
+                    *latest = plan.cid;
+                }
+                plan.sends
+                    .into_iter()
+                    .map(|(to, msg)| Effect::NetSend { to, msg })
+                    .collect()
+            }
+            Action::Block => {
+                self.stats.blocks += 1;
+                sd::block_eff(&mut self.st);
+                vec![Effect::Block]
+            }
+            Action::FlushAgg => {
+                let (_, sc_set) = self.st.start_change.clone().expect("enabled");
+                let entries: Vec<(ProcessId, SyncPayload)> = self
+                    .st
+                    .agg_buffer
+                    .iter()
+                    .map(|(sender, (cid, rec))| {
+                        (
+                            *sender,
+                            SyncPayload {
+                                cid: *cid,
+                                view: rec.view.clone(),
+                                cut: rec.cut.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                self.st.agg_flushed = true;
+                let to: ProcSet =
+                    sc_set.iter().copied().filter(|q| *q != self.st.pid).collect();
+                if to.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Effect::NetSend { to, msg: NetMsg::SyncAgg(entries) }]
+                }
+            }
+            Action::SendAppMsg => {
+                self.stats.msgs_sent += 1;
+                let (set, msg) = wv::send_app_msg_eff(&mut self.st);
+                if set.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Effect::NetSend { to: set, msg }]
+                }
+            }
+            Action::DeliverApp(q) => {
+                self.stats.msgs_delivered += 1;
+                let m = wv::deliver_pre(&self.st, *q).expect("fire called while enabled");
+                wv::deliver_eff(&mut self.st, *q);
+                vec![Effect::DeliverApp { from: *q, msg: m }]
+            }
+            Action::DeliverView => {
+                self.stats.views_installed += 1;
+                let t = self.view_enabled().expect("fire called while enabled");
+                let previous = self.st.current_view.clone();
+                wv::view_eff(&mut self.st);
+                if self.cfg.stack.has_vs() {
+                    vs::view_eff(&mut self.st);
+                }
+                if self.cfg.stack.has_sd() {
+                    sd::view_eff(&mut self.st);
+                }
+                if self.cfg.gc_old_views {
+                    self.st.gc(&previous);
+                }
+                vec![Effect::InstallView {
+                    view: self.st.current_view.clone(),
+                    transitional: t,
+                }]
+            }
+            Action::Forward(cmd) => {
+                self.stats.forwards_sent += 1;
+                let msg = self
+                    .st
+                    .buf(cmd.origin, &cmd.view)
+                    .and_then(|s| s.get(cmd.index))
+                    .expect("fire called while enabled")
+                    .clone();
+                for dest in &cmd.to {
+                    self.st.forwarded.insert((*dest, cmd.origin, cmd.view.clone(), cmd.index));
+                }
+                vec![Effect::NetSend {
+                    to: cmd.to.clone(),
+                    msg: NetMsg::Fwd(FwdPayload {
+                        origin: cmd.origin,
+                        view: cmd.view.clone(),
+                        index: cmd.index,
+                        msg,
+                    }),
+                }]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Stack;
+    use std::collections::HashMap;
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn set(ids: &[u64]) -> ProcSet {
+        ids.iter().map(|&i| p(i)).collect()
+    }
+
+    /// Minimal in-test harness: endpoints + instant FIFO message routing +
+    /// a scripted membership.
+    struct Net {
+        eps: HashMap<ProcessId, Endpoint>,
+        delivered: Vec<(ProcessId, ProcessId, AppMsg)>,
+        views: Vec<(ProcessId, View, ProcSet)>,
+        blocked: Vec<ProcessId>,
+    }
+
+    impl Net {
+        fn new(ids: &[u64], cfg: Config) -> Self {
+            Net {
+                eps: ids.iter().map(|&i| (p(i), Endpoint::new(p(i), cfg.clone()))).collect(),
+                delivered: Vec::new(),
+                views: Vec::new(),
+                blocked: Vec::new(),
+            }
+        }
+
+        fn input(&mut self, to: u64, input: Input) {
+            let effects = self.eps.get_mut(&p(to)).unwrap().handle(input);
+            self.route(p(to), effects);
+        }
+
+        /// Poll every endpoint until global quiescence, auto-answering
+        /// block requests with block_ok.
+        fn settle(&mut self) {
+            for _ in 0..1000 {
+                let mut progress = false;
+                let ids: Vec<ProcessId> = self.eps.keys().copied().collect();
+                for id in ids {
+                    let effects = self.eps.get_mut(&id).unwrap().poll();
+                    if !effects.is_empty() {
+                        progress = true;
+                        self.route(id, effects);
+                    }
+                }
+                if !progress {
+                    return;
+                }
+            }
+            panic!("network did not settle");
+        }
+
+        fn route(&mut self, from: ProcessId, effects: Vec<Effect>) {
+            for e in effects {
+                match e {
+                    Effect::NetSend { to, msg } => {
+                        for dest in to {
+                            if dest == from {
+                                continue;
+                            }
+                            let more = self
+                                .eps
+                                .get_mut(&dest)
+                                .unwrap()
+                                .handle(Input::Net { from, msg: msg.clone() });
+                            self.route(dest, more);
+                        }
+                    }
+                    Effect::DeliverApp { from: sender, msg } => {
+                        self.delivered.push((from, sender, msg));
+                    }
+                    Effect::InstallView { view, transitional } => {
+                        self.views.push((from, view, transitional));
+                    }
+                    Effect::Block => {
+                        self.blocked.push(from);
+                        let more = self.eps.get_mut(&from).unwrap().handle(Input::BlockOk);
+                        self.route(from, more);
+                    }
+                    Effect::SetReliable(_) => {}
+                }
+            }
+        }
+
+        /// Scripted membership: start_change + view to all members.
+        fn reconfigure(&mut self, members: &[u64], epoch: u64, cid: u64) -> View {
+            let member_set = set(members);
+            for &m in members {
+                self.input(
+                    m,
+                    Input::StartChange { cid: StartChangeId::new(cid), set: member_set.clone() },
+                );
+            }
+            self.settle();
+            let view = View::new(
+                vsgm_types::ViewId::new(epoch, 0),
+                member_set.iter().copied(),
+                member_set.iter().map(|m| (*m, StartChangeId::new(cid))),
+            );
+            for &m in members {
+                self.input(m, Input::MbrshpView(view.clone()));
+            }
+            self.settle();
+            view
+        }
+    }
+
+    #[test]
+    fn singleton_self_delivery() {
+        let mut net = Net::new(&[1], Config::default());
+        net.input(1, Input::AppSend(AppMsg::from("solo")));
+        net.settle();
+        assert_eq!(net.delivered, vec![(p(1), p(1), AppMsg::from("solo"))]);
+    }
+
+    #[test]
+    fn two_endpoints_form_view_and_multicast() {
+        let mut net = Net::new(&[1, 2], Config::default());
+        let v = net.reconfigure(&[1, 2], 1, 1);
+        assert_eq!(net.views.len(), 2, "{:?}", net.views);
+        for (_, view, t) in &net.views {
+            assert_eq!(view, &v);
+            assert!(t.contains(&view.members().iter().next().copied().unwrap()) || !t.is_empty());
+        }
+        net.input(1, Input::AppSend(AppMsg::from("hi")));
+        net.settle();
+        let receivers: Vec<ProcessId> =
+            net.delivered.iter().map(|(to, _, _)| *to).collect();
+        assert!(receivers.contains(&p(1)) && receivers.contains(&p(2)), "{receivers:?}");
+    }
+
+    #[test]
+    fn transitional_set_is_self_on_first_view() {
+        let mut net = Net::new(&[1, 2], Config::default());
+        net.reconfigure(&[1, 2], 1, 1);
+        // Both moved from their own singleton initial views: T = {self}.
+        for (who, _, t) in &net.views {
+            assert_eq!(t, &[*who].into_iter().collect::<ProcSet>(), "{:?}", net.views);
+        }
+    }
+
+    #[test]
+    fn transitional_set_is_full_on_joint_move() {
+        let mut net = Net::new(&[1, 2], Config::default());
+        net.reconfigure(&[1, 2], 1, 1);
+        net.views.clear();
+        net.reconfigure(&[1, 2], 2, 2);
+        for (_, _, t) in &net.views {
+            assert_eq!(t, &set(&[1, 2]), "{:?}", net.views);
+        }
+    }
+
+    #[test]
+    fn block_handshake_happens_per_view_change() {
+        let mut net = Net::new(&[1, 2], Config::default());
+        net.reconfigure(&[1, 2], 1, 1);
+        assert_eq!(net.blocked.len(), 2);
+        net.reconfigure(&[1, 2], 2, 2);
+        assert_eq!(net.blocked.len(), 4);
+    }
+
+    #[test]
+    fn virtual_synchrony_on_partition_shrink() {
+        let mut net = Net::new(&[1, 2, 3], Config::default());
+        net.reconfigure(&[1, 2, 3], 1, 1);
+        net.input(1, Input::AppSend(AppMsg::from("m")));
+        net.settle();
+        net.delivered.clear();
+        net.views.clear();
+        // p3 leaves; {1,2} reconfigure.
+        let member_set = set(&[1, 2]);
+        for m in [1, 2] {
+            net.input(
+                m,
+                Input::StartChange { cid: StartChangeId::new(2), set: member_set.clone() },
+            );
+        }
+        net.settle();
+        let view = View::new(
+            vsgm_types::ViewId::new(2, 0),
+            member_set.iter().copied(),
+            member_set.iter().map(|m| (*m, StartChangeId::new(2))),
+        );
+        for m in [1, 2] {
+            net.input(m, Input::MbrshpView(view.clone()));
+        }
+        net.settle();
+        assert_eq!(net.views.len(), 2, "{:?}", net.views);
+        for (_, _, t) in &net.views {
+            assert_eq!(t, &set(&[1, 2]));
+        }
+    }
+
+    #[test]
+    fn obsolete_view_never_delivered() {
+        let mut net = Net::new(&[1, 2], Config::default());
+        net.reconfigure(&[1, 2], 1, 1);
+        net.views.clear();
+        // start_change cid=2, then a cascade cid=3 BEFORE the view for
+        // cid=2 arrives.
+        let members = set(&[1, 2]);
+        for m in [1, 2] {
+            net.input(m, Input::StartChange { cid: StartChangeId::new(2), set: members.clone() });
+        }
+        net.settle();
+        for m in [1, 2] {
+            net.input(m, Input::StartChange { cid: StartChangeId::new(3), set: members.clone() });
+        }
+        net.settle();
+        // The view tagged with the OLD cids arrives: must be ignored.
+        let obsolete = View::new(
+            vsgm_types::ViewId::new(2, 0),
+            members.iter().copied(),
+            members.iter().map(|m| (*m, StartChangeId::new(2))),
+        );
+        for m in [1, 2] {
+            net.input(m, Input::MbrshpView(obsolete.clone()));
+        }
+        net.settle();
+        assert!(net.views.is_empty(), "obsolete view was delivered: {:?}", net.views);
+        // The up-to-date view goes through.
+        let fresh = View::new(
+            vsgm_types::ViewId::new(3, 0),
+            members.iter().copied(),
+            members.iter().map(|m| (*m, StartChangeId::new(3))),
+        );
+        for m in [1, 2] {
+            net.input(m, Input::MbrshpView(fresh.clone()));
+        }
+        net.settle();
+        assert_eq!(net.views.len(), 2);
+    }
+
+    #[test]
+    fn messages_delivered_during_reconfiguration() {
+        // The paper: "our algorithm allows some application messages to be
+        // delivered while it is reconfiguring."
+        let mut net = Net::new(&[1, 2], Config::default());
+        net.reconfigure(&[1, 2], 1, 1);
+        // In-flight message sent before the change...
+        net.input(1, Input::AppSend(AppMsg::from("during")));
+        net.delivered.clear();
+        let members = set(&[1, 2]);
+        for m in [1, 2] {
+            net.input(m, Input::StartChange { cid: StartChangeId::new(2), set: members.clone() });
+        }
+        net.settle();
+        // Delivered while no view has arrived yet (still reconfiguring).
+        assert!(
+            net.delivered.iter().any(|(_, _, m)| m == &AppMsg::from("during")),
+            "{:?}",
+            net.delivered
+        );
+        assert!(net.eps[&p(1)].reconfiguring());
+    }
+
+    #[test]
+    fn crash_disables_recover_restores() {
+        let mut ep = Endpoint::new(p(1), Config::default());
+        ep.handle(Input::Crash);
+        assert!(ep.is_crashed());
+        assert!(ep.enabled_actions().is_empty());
+        ep.handle(Input::AppSend(AppMsg::from("lost")));
+        ep.handle(Input::Recover);
+        assert!(!ep.is_crashed());
+        // The pre-crash send is gone (no stable storage).
+        assert_eq!(ep.state().buf(p(1), ep.current_view()).map_or(0, |b| b.last_index()), 0);
+    }
+
+    #[test]
+    fn wv_stack_ignores_start_change_and_installs_views_directly() {
+        let cfg = Config { stack: Stack::Wv, ..Config::default() };
+        let mut net = Net::new(&[1, 2], cfg);
+        // No sync round needed: view installs straight away.
+        let members = set(&[1, 2]);
+        let view = View::new(
+            vsgm_types::ViewId::new(1, 0),
+            members.iter().copied(),
+            members.iter().map(|m| (*m, StartChangeId::new(1))),
+        );
+        for m in [1, 2] {
+            net.input(m, Input::MbrshpView(view.clone()));
+        }
+        net.settle();
+        assert_eq!(net.views.len(), 2);
+        assert!(net.blocked.is_empty(), "WV stack never blocks");
+    }
+
+    #[test]
+    fn vs_stack_without_sd_never_blocks() {
+        let cfg = Config { stack: Stack::VsTs, ..Config::default() };
+        let mut net = Net::new(&[1, 2], cfg);
+        net.reconfigure(&[1, 2], 1, 1);
+        assert_eq!(net.views.len(), 2);
+        assert!(net.blocked.is_empty());
+    }
+
+    #[test]
+    fn aggregation_stack_still_reaches_view() {
+        let cfg = Config { aggregation: true, ..Config::default() };
+        let mut net = Net::new(&[1, 2, 3], cfg);
+        net.reconfigure(&[1, 2, 3], 1, 1);
+        assert_eq!(net.views.len(), 3, "{:?}", net.views);
+    }
+
+    #[test]
+    fn slim_sync_stack_still_reaches_view() {
+        let cfg = Config { slim_sync: true, ..Config::default() };
+        let mut net = Net::new(&[1, 2], cfg);
+        net.reconfigure(&[1, 2], 1, 1);
+        net.views.clear();
+        net.reconfigure(&[1, 2], 2, 2);
+        assert_eq!(net.views.len(), 2);
+        for (_, _, t) in &net.views {
+            assert_eq!(t, &set(&[1, 2]));
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved_end_to_end() {
+        let mut net = Net::new(&[1, 2], Config::default());
+        net.reconfigure(&[1, 2], 1, 1);
+        net.delivered.clear();
+        for i in 0..10 {
+            net.input(1, Input::AppSend(AppMsg::from(format!("m{i}").as_str())));
+        }
+        net.settle();
+        let at2: Vec<&AppMsg> = net
+            .delivered
+            .iter()
+            .filter(|(to, from, _)| *to == p(2) && *from == p(1))
+            .map(|(_, _, m)| m)
+            .collect();
+        assert_eq!(at2.len(), 10);
+        for (i, m) in at2.iter().enumerate() {
+            assert_eq!(**m, AppMsg::from(format!("m{i}").as_str()));
+        }
+    }
+}

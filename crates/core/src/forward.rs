@@ -1,0 +1,409 @@
+//! Forwarding strategies (§5.2.2): recovering messages for peers that
+//! miss them.
+//!
+//! During a view change an end-point may have committed (via its cut) to
+//! messages that some peer never received — e.g. because the original
+//! sender is partitioned away. Members holding such messages *forward*
+//! them. The paper leaves the policy open as a
+//! `ForwardingStrategyPredicate` and gives two examples, both implemented
+//! here:
+//!
+//! * [`ForwardStrategyKind::Eager`] — a member forwards every message it
+//!   has committed to as soon as a peer's synchronization message reveals
+//!   the peer misses it. Simple, low latency, up to `|T|−1` copies per
+//!   missing message.
+//! * [`ForwardStrategyKind::MinCopy`] — members deterministically elect,
+//!   per missing message, the committed holder with the smallest id as
+//!   the unique forwarder. Usually one copy per missing message.
+
+use crate::state::State;
+use std::collections::HashMap;
+use vsgm_types::{Cut, MsgIndex, ProcSet, ProcessId, View, ViewId};
+
+/// One forwarding obligation: send `msgs[origin][view][index]` to `to`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardCmd {
+    /// Destinations still missing the message.
+    pub to: ProcSet,
+    /// Original sender.
+    pub origin: ProcessId,
+    /// View the message was originally sent in.
+    pub view: View,
+    /// 1-based index in `msgs[origin][view]`.
+    pub index: MsgIndex,
+}
+
+/// Which `ForwardingStrategyPredicate` of §5.2.2 an end-point runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForwardStrategyKind {
+    /// Forwarding disabled (for ablation; liveness under partitions is
+    /// lost).
+    Disabled,
+    /// The paper's first example strategy: everyone committed forwards.
+    #[default]
+    Eager,
+    /// The paper's second example strategy: the minimum-id committed
+    /// holder forwards a single copy.
+    MinCopy,
+}
+
+impl ForwardStrategyKind {
+    /// Enumerates the currently enabled forwarding actions, already
+    /// filtered against `st.forwarded` (Fig. 10's `forwarded_set`
+    /// precondition) and against messages we do not hold.
+    pub fn candidates(self, st: &State) -> Vec<ForwardCmd> {
+        // Fast path: forwarding can only ever be due when peer sync
+        // records exist (both strategies key off them). Steady-state
+        // multicast — the hot path — has none.
+        if st.sync_msgs.len() <= 1 {
+            return Vec::new();
+        }
+        match self {
+            ForwardStrategyKind::Disabled => Vec::new(),
+            ForwardStrategyKind::Eager => eager(st),
+            ForwardStrategyKind::MinCopy => min_copy(st),
+        }
+    }
+}
+
+/// The latest (max-cid) non-slim sync record each process has produced
+/// per view, from this end-point's perspective.
+fn latest_syncs_per_view(st: &State) -> HashMap<(ProcessId, View), Cut> {
+    let mut best: HashMap<(ProcessId, View), (vsgm_types::StartChangeId, Cut)> = HashMap::new();
+    for ((q, cid), rec) in &st.sync_msgs {
+        let Some(v) = &rec.view else { continue };
+        let key = (*q, v.clone());
+        match best.get(&key) {
+            Some((c, _)) if *c >= *cid => {}
+            _ => {
+                best.insert(key, (*cid, rec.cut.clone()));
+            }
+        }
+    }
+    best.into_iter().map(|(k, (_, cut))| (k, cut)).collect()
+}
+
+/// The largest view id this end-point knows `q` to have reached (via
+/// `view_msg`s and sync messages).
+fn known_view_of(st: &State, q: ProcessId) -> ViewId {
+    let mut id = st.view_msg_of(q).id();
+    for ((sender, _), rec) in &st.sync_msgs {
+        if *sender == q {
+            if let Some(v) = &rec.view {
+                id = id.max(v.id());
+            }
+        }
+    }
+    id
+}
+
+/// §5.2.2, first strategy: `p` forwards `m` (sent by `r` in view `v`) to
+/// `q` iff `p` committed to deliver `m`, `p` knows no later view of `q`
+/// than `v`, and `q`'s latest sync for `v` shows `q` misses `m`.
+fn eager(st: &State) -> Vec<ForwardCmd> {
+    let per_view = latest_syncs_per_view(st);
+    let mut out = Vec::new();
+    // Own commitments, per view.
+    for ((owner, v), own_cut) in &per_view {
+        if *owner != st.pid {
+            continue;
+        }
+        for ((q, qv), q_cut) in &per_view {
+            if *q == st.pid || qv != v {
+                continue;
+            }
+            if known_view_of(st, *q) > v.id() {
+                continue; // q has moved on; its old cut is obsolete
+            }
+            for r in v.members() {
+                if r == q {
+                    continue; // q has its own messages
+                }
+                let lo = q_cut.get(*r);
+                let hi = own_cut.get(*r);
+                for i in (lo + 1)..=hi {
+                    if st.forwarded.contains(&(*q, *r, v.clone(), i)) {
+                        continue;
+                    }
+                    if st.buf(*r, v).and_then(|s| s.get(i)).is_none() {
+                        continue;
+                    }
+                    out.push(ForwardCmd {
+                        to: [*q].into_iter().collect(),
+                        origin: *r,
+                        view: v.clone(),
+                        index: i,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// §5.2.2, second strategy: once the membership view `v'` and the sync
+/// messages it selects are known, the transitional set `T` elects, for
+/// each message from an origin `r ∉ T`, the minimum-id member of `T`
+/// committed to it as the unique forwarder; it forwards to the members of
+/// `T` whose cuts show they miss the message.
+fn min_copy(st: &State) -> Vec<ForwardCmd> {
+    let v_new = &st.mbrshp_view;
+    // Own sync for this change must exist (we've committed).
+    let Some(own_cid) = v_new.start_id(st.pid) else { return Vec::new() };
+    let Some(own) = st.sync(st.pid, own_cid) else { return Vec::new() };
+    let Some(v_old) = own.view.clone() else { return Vec::new() };
+
+    // All selected syncs from I = v'.set ∩ v_old.set must be present.
+    let mut t: Vec<(ProcessId, &Cut)> = Vec::new();
+    for q in v_new.intersection(&v_old) {
+        let Some(q_cid) = v_new.start_id(q) else { return Vec::new() };
+        let Some(rec) = st.sync(q, q_cid) else { return Vec::new() };
+        if rec.view.as_ref() == Some(&v_old) {
+            t.push((q, &rec.cut));
+        }
+    }
+    let mut out = Vec::new();
+    for r in v_old.members() {
+        if t.iter().any(|(u, _)| u == r) {
+            continue; // r ∈ T: its messages arrive from r directly
+        }
+        let max_cut = t.iter().map(|(_, c)| c.get(*r)).max().unwrap_or(0);
+        for i in 1..=max_cut {
+            let min_holder =
+                t.iter().filter(|(_, c)| c.get(*r) >= i).map(|(u, _)| *u).min();
+            if min_holder != Some(st.pid) {
+                continue;
+            }
+            let to: ProcSet = t
+                .iter()
+                .filter(|(u, c)| c.get(*r) < i && !st.forwarded.contains(&(*u, *r, v_old.clone(), i)))
+                .map(|(u, _)| *u)
+                .collect();
+            if to.is_empty() {
+                continue;
+            }
+            if st.buf(*r, &v_old).and_then(|s| s.get(i)).is_none() {
+                continue;
+            }
+            out.push(ForwardCmd { to, origin: *r, view: v_old.clone(), index: i });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SyncRecord;
+    use crate::{vs, wv};
+    use vsgm_types::{AppMsg, StartChangeId, SyncPayload};
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn set(ids: &[u64]) -> ProcSet {
+        ids.iter().map(|&i| p(i)).collect()
+    }
+
+    fn view(epoch: u64, members: &[u64], cids: &[u64]) -> View {
+        View::new(
+            ViewId::new(epoch, 0),
+            members.iter().map(|&i| p(i)),
+            members.iter().zip(cids).map(|(&m, &c)| (p(m), StartChangeId::new(c))),
+        )
+    }
+
+    /// p1 in view {1,2,3}; p3 (the origin) sent 2 messages which p1 holds
+    /// but p2 misses; reconfiguration to {1,2} in progress.
+    fn scenario() -> State {
+        let mut st = State::new(p(1));
+        let v = view(1, &[1, 2, 3], &[1, 1, 1]);
+        st.mbrshp_view = v.clone();
+        wv::view_eff(&mut st);
+        st.reliable_set = set(&[1, 2, 3]);
+        st.view_msg.insert(p(1), v.clone());
+        // Receive p3's stream.
+        wv::on_view_msg(&mut st, p(3), v.clone());
+        wv::on_app_msg(&mut st, p(3), AppMsg::from("m1"));
+        wv::on_app_msg(&mut st, p(3), AppMsg::from("m2"));
+        // Change starts: {1,2} (p3 partitioned away).
+        vs::on_start_change(&mut st, StartChangeId::new(2), set(&[1, 2]));
+        // Own sync commits to both of p3's messages.
+        let plan = vs::send_sync_eff(&mut st, false, false, false);
+        assert_eq!(plan.record.cut.get(p(3)), 2);
+        st
+    }
+
+    fn p2_sync(st: &mut State, missing_from_p3: u64) {
+        let mut cut = Cut::new();
+        cut.set(p(3), missing_from_p3);
+        let cv = st.current_view.clone();
+        vs::on_sync(
+            st,
+            p(2),
+            &SyncPayload {
+                cid: StartChangeId::new(4),
+                view: Some(cv.clone()),
+                cut,
+            },
+        );
+    }
+
+    #[test]
+    fn disabled_yields_nothing() {
+        let mut st = scenario();
+        p2_sync(&mut st, 0);
+        assert!(ForwardStrategyKind::Disabled.candidates(&st).is_empty());
+    }
+
+    #[test]
+    fn eager_forwards_missing_messages() {
+        let mut st = scenario();
+        p2_sync(&mut st, 0); // p2 has none of p3's messages
+        let cmds = ForwardStrategyKind::Eager.candidates(&st);
+        assert_eq!(cmds.len(), 2, "{cmds:?}");
+        for cmd in &cmds {
+            assert_eq!(cmd.to, set(&[2]));
+            assert_eq!(cmd.origin, p(3));
+        }
+        let idxs: Vec<MsgIndex> = cmds.iter().map(|c| c.index).collect();
+        assert!(idxs.contains(&1) && idxs.contains(&2));
+    }
+
+    #[test]
+    fn eager_respects_peer_progress() {
+        let mut st = scenario();
+        p2_sync(&mut st, 1); // p2 already has message 1
+        let cmds = ForwardStrategyKind::Eager.candidates(&st);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].index, 2);
+    }
+
+    #[test]
+    fn eager_skips_already_forwarded() {
+        let mut st = scenario();
+        p2_sync(&mut st, 0);
+        st.forwarded.insert((p(2), p(3), st.current_view.clone(), 1));
+        let cmds = ForwardStrategyKind::Eager.candidates(&st);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].index, 2);
+    }
+
+    #[test]
+    fn eager_ignores_peers_known_to_have_moved_on() {
+        let mut st = scenario();
+        p2_sync(&mut st, 0);
+        // p2 announces a NEWER view: its old cut is obsolete.
+        wv::on_view_msg(&mut st, p(2), view(5, &[2], &[9]));
+        assert!(ForwardStrategyKind::Eager.candidates(&st).is_empty());
+    }
+
+    #[test]
+    fn min_copy_waits_for_membership_view() {
+        let mut st = scenario();
+        p2_sync(&mut st, 0);
+        // mbrshp_view still the old view: its startId(p1) = 1 selects an
+        // older sync of ours which does not exist ⇒ no candidates yet.
+        assert!(ForwardStrategyKind::MinCopy.candidates(&st).is_empty());
+    }
+
+    #[test]
+    fn min_copy_elects_minimum_holder() {
+        let mut st = scenario();
+        p2_sync(&mut st, 0);
+        st.mbrshp_view = view(2, &[1, 2], &[2, 4]);
+        let cmds = ForwardStrategyKind::MinCopy.candidates(&st);
+        // p1 is the only (hence min) holder; forwards both to p2, one copy
+        // each.
+        assert_eq!(cmds.len(), 2, "{cmds:?}");
+        for cmd in &cmds {
+            assert_eq!(cmd.to, set(&[2]));
+            assert_eq!(cmd.origin, p(3));
+        }
+    }
+
+    #[test]
+    fn min_copy_defers_to_smaller_holder() {
+        // Like `scenario`, but from p2's perspective, where p1 (smaller
+        // id) also committed to the messages: p2 must not forward.
+        let mut st = State::new(p(2));
+        let v = view(1, &[1, 2, 3], &[1, 1, 1]);
+        st.mbrshp_view = v.clone();
+        wv::view_eff(&mut st);
+        st.reliable_set = set(&[1, 2, 3]);
+        wv::on_view_msg(&mut st, p(3), v.clone());
+        wv::on_app_msg(&mut st, p(3), AppMsg::from("m1"));
+        vs::on_start_change(&mut st, StartChangeId::new(4), set(&[1, 2]));
+        let _ = vs::send_sync_eff(&mut st, false, false, false);
+        // p1 also committed to message 1 (and misses nothing).
+        let mut cut = Cut::new();
+        cut.set(p(3), 1);
+        vs::on_sync(
+            &mut st,
+            p(1),
+            &SyncPayload { cid: StartChangeId::new(2), view: Some(v), cut },
+        );
+        st.mbrshp_view = view(2, &[1, 2], &[2, 4]);
+        let cmds = ForwardStrategyKind::MinCopy.candidates(&st);
+        assert!(cmds.is_empty(), "p1 is the elected forwarder, not p2: {cmds:?}");
+    }
+
+    #[test]
+    fn min_copy_skips_messages_nobody_misses() {
+        let mut st = scenario();
+        p2_sync(&mut st, 2); // p2 has everything
+        st.mbrshp_view = view(2, &[1, 2], &[2, 4]);
+        assert!(ForwardStrategyKind::MinCopy.candidates(&st).is_empty());
+    }
+
+    #[test]
+    fn min_copy_ignores_origins_inside_t() {
+        let mut st = scenario();
+        // p2's sync shows p2 moves with us and misses one of OUR messages;
+        // but we are in T, so our messages are not forwarded (the original
+        // sender channel covers them).
+        let mut cut = Cut::new();
+        cut.set(p(1), 0);
+        cut.set(p(3), 2);
+        let cv = st.current_view.clone();
+        vs::on_sync(
+            &mut st,
+            p(2),
+            &SyncPayload {
+                cid: StartChangeId::new(4),
+                view: Some(cv.clone()),
+                cut,
+            },
+        );
+        // Give ourselves a sent message so a naive strategy would forward.
+        wv::on_app_send(&mut st, AppMsg::from("own"));
+        // Re-commit is not possible (sync already sent); directly check.
+        st.mbrshp_view = view(2, &[1, 2], &[2, 4]);
+        let cmds = ForwardStrategyKind::MinCopy.candidates(&st);
+        assert!(
+            cmds.iter().all(|c| c.origin != p(1)),
+            "own (T-member) messages must not be forwarded: {cmds:?}"
+        );
+    }
+
+    #[test]
+    fn latest_sync_per_view_uses_max_cid() {
+        let mut st = State::new(p(1));
+        let v = view(1, &[1, 2], &[1, 1]);
+        let mut c1 = Cut::new();
+        c1.set(p(2), 1);
+        let mut c2 = Cut::new();
+        c2.set(p(2), 5);
+        st.sync_msgs.insert(
+            (p(2), StartChangeId::new(1)),
+            SyncRecord { view: Some(v.clone()), cut: c1, stream_pos: 0 },
+        );
+        st.sync_msgs.insert(
+            (p(2), StartChangeId::new(3)),
+            SyncRecord { view: Some(v.clone()), cut: c2, stream_pos: 0 },
+        );
+        let per_view = latest_syncs_per_view(&st);
+        assert_eq!(per_view[&(p(2), v)].get(p(2)), 5);
+    }
+}

@@ -1,0 +1,81 @@
+//! Layer 3 — `GCS_p = VS_RFIFO+TS+SD_p` (Fig. 11): Self Delivery via the
+//! block/block_ok handshake.
+//!
+//! To provide Self Delivery together with Virtual Synchrony in a live
+//! manner, the application must be blocked from sending while a view
+//! change is in progress (proven in the paper's reference \[19\]). The
+//! synchronization message is then only sent once the application is
+//! blocked, so the committed cut covers *all* messages the application
+//! sent in the current view — which is exactly the Self Delivery
+//! obligation.
+
+use crate::state::{BlockStatus, State};
+
+/// `block_p()` precondition: a change is pending and no block cycle is in
+/// progress.
+pub fn block_pre(st: &State) -> bool {
+    st.start_change.is_some() && st.block_status == BlockStatus::Unblocked
+}
+
+/// `block_p()` effect.
+pub fn block_eff(st: &mut State) {
+    st.block_status = BlockStatus::Requested;
+}
+
+/// `block_ok_p()` input effect.
+pub fn on_block_ok(st: &mut State) {
+    st.block_status = BlockStatus::Blocked;
+}
+
+/// The restriction this layer adds to the synchronization send: only
+/// after the application acknowledged the block.
+pub fn sync_restriction(st: &State) -> bool {
+    st.block_status == BlockStatus::Blocked
+}
+
+/// `view_p(v, T)` effect added by this layer.
+pub fn view_eff(st: &mut State) {
+    st.block_status = BlockStatus::Unblocked;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsgm_types::{ProcSet, ProcessId, StartChangeId};
+
+    fn fresh() -> State {
+        State::new(ProcessId::new(1))
+    }
+
+    #[test]
+    fn block_requires_pending_change() {
+        let mut st = fresh();
+        assert!(!block_pre(&st));
+        st.start_change =
+            Some((StartChangeId::new(1), [ProcessId::new(1)].into_iter().collect::<ProcSet>()));
+        assert!(block_pre(&st));
+        block_eff(&mut st);
+        assert_eq!(st.block_status, BlockStatus::Requested);
+        assert!(!block_pre(&st), "no double block");
+    }
+
+    #[test]
+    fn handshake_gates_sync() {
+        let mut st = fresh();
+        st.start_change =
+            Some((StartChangeId::new(1), [ProcessId::new(1)].into_iter().collect::<ProcSet>()));
+        assert!(!sync_restriction(&st));
+        block_eff(&mut st);
+        assert!(!sync_restriction(&st));
+        on_block_ok(&mut st);
+        assert!(sync_restriction(&st));
+    }
+
+    #[test]
+    fn view_unblocks() {
+        let mut st = fresh();
+        st.block_status = BlockStatus::Blocked;
+        view_eff(&mut st);
+        assert_eq!(st.block_status, BlockStatus::Unblocked);
+    }
+}

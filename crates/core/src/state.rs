@@ -1,0 +1,326 @@
+//! End-point state: the union of the state variables of Figs. 9–11.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use vsgm_types::{AppMsg, Cut, MsgIndex, ProcSet, ProcessId, StartChangeId, View};
+
+/// A 1-indexed, possibly sparse sequence of application messages — one
+/// `msgs[q][v]` buffer. Sparse because forwarded messages (Fig. 9,
+/// `fwd_msg`) can fill arbitrary indices out of order.
+#[derive(Debug, Clone, Default)]
+pub struct MsgSeq {
+    slots: Vec<Option<AppMsg>>,
+}
+
+impl MsgSeq {
+    /// The message at 1-based index `i`, if present.
+    pub fn get(&self, i: MsgIndex) -> Option<&AppMsg> {
+        if i == 0 {
+            return None;
+        }
+        self.slots.get((i - 1) as usize).and_then(Option::as_ref)
+    }
+
+    /// Stores a message at 1-based index `i`, growing with gaps as needed.
+    /// Idempotent for equal content (forwarded copies of the same
+    /// original are identical — Invariant 6.6).
+    pub fn set(&mut self, i: MsgIndex, m: AppMsg) {
+        assert!(i >= 1, "MsgSeq is 1-indexed");
+        let idx = (i - 1) as usize;
+        if self.slots.len() <= idx {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx] = Some(m);
+    }
+
+    /// Appends at the next index (original sends from the local client).
+    pub fn push(&mut self, m: AppMsg) {
+        self.slots.push(Some(m));
+    }
+
+    /// `LongestPrefixOf`: the largest `k` such that indices `1..=k` are
+    /// all present.
+    pub fn longest_prefix(&self) -> MsgIndex {
+        self.slots.iter().take_while(|s| s.is_some()).count() as MsgIndex
+    }
+
+    /// The largest populated index (0 if empty).
+    pub fn last_index(&self) -> MsgIndex {
+        self.slots
+            .iter()
+            .rposition(Option::is_some)
+            .map_or(0, |i| (i + 1) as MsgIndex)
+    }
+}
+
+/// A stored synchronization message (one `sync_msg[q][cid]` cell of
+/// Fig. 10). `view = None` for §5.2.4 slim messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncRecord {
+    /// The sender's view at sync time (`None` for slim messages).
+    pub view: Option<View>,
+    /// The sender's committed delivery cut.
+    pub cut: Cut,
+    /// Where in the sender's message stream this sync arrived: the
+    /// receiver's `last_rcvd[sender]` at receipt (for the local record:
+    /// the sender's own `last_sent`). Because syncs travel in-stream on
+    /// the same FIFO channels as application messages, this position is
+    /// identical at every receiver — the observation behind the second
+    /// §5.2.4 optimization ([`crate::Config::implicit_cuts`]).
+    pub stream_pos: MsgIndex,
+}
+
+/// Block-handshake status (Fig. 11, `block_status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockStatus {
+    /// The application may send.
+    #[default]
+    Unblocked,
+    /// A `block` request was issued, not yet acknowledged.
+    Requested,
+    /// The application acknowledged and is silent until the next view.
+    Blocked,
+}
+
+/// The complete end-point state: Fig. 9 (`WV_RFIFO_p`) plus the state
+/// extensions of Fig. 10 (`VS_RFIFO+TS_p`) and Fig. 11 (`GCS_p`).
+#[derive(Debug, Clone)]
+pub struct State {
+    /// This end-point's identity.
+    pub pid: ProcessId,
+
+    // ----- WV_RFIFO_p (Fig. 9) -----
+    /// `msgs[q][v]`: per-sender, per-view message buffers.
+    pub msgs: HashMap<(ProcessId, View), MsgSeq>,
+    /// Index of the last own message multicast via `CO_RFIFO`.
+    pub last_sent: MsgIndex,
+    /// `last_rcvd[q]`: last original-stream index received from `q`.
+    pub last_rcvd: HashMap<ProcessId, MsgIndex>,
+    /// `last_dlvrd[q]`: last index delivered to the application from `q`
+    /// in the current view.
+    pub last_dlvrd: HashMap<ProcessId, MsgIndex>,
+    /// The view last delivered to the application.
+    pub current_view: View,
+    /// The view last received from the membership service.
+    pub mbrshp_view: View,
+    /// `view_msg[q]`: the view conveyed by the latest `view_msg` from `q`
+    /// (`view_msg[pid]` = the last view *we* announced).
+    pub view_msg: HashMap<ProcessId, View>,
+    /// Peers we asked `CO_RFIFO` to keep reliable channels to.
+    pub reliable_set: ProcSet,
+
+    // ----- VS_RFIFO+TS_p extension (Fig. 10) -----
+    /// The pending `start_change`, if a view change is in progress.
+    pub start_change: Option<(StartChangeId, ProcSet)>,
+    /// `sync_msg[q][cid]` cells.
+    pub sync_msgs: HashMap<(ProcessId, StartChangeId), SyncRecord>,
+    /// Largest sync cid received from each peer (used by the eager
+    /// forwarding strategy to find the peer's freshest cut).
+    pub latest_sync_cid: HashMap<ProcessId, StartChangeId>,
+    /// `(dest, origin, view, index)` tuples already forwarded.
+    pub forwarded: HashSet<(ProcessId, ProcessId, View, MsgIndex)>,
+
+    // ----- GCS_p extension (Fig. 11) -----
+    /// Block-handshake status with the local application.
+    pub block_status: BlockStatus,
+
+    // ----- §9 aggregation extension -----
+    /// Leader-side buffer of collected synchronization messages for the
+    /// current change: `(sender, cid, record)`.
+    pub agg_buffer: BTreeMap<ProcessId, (StartChangeId, SyncRecord)>,
+    /// Whether the leader already flushed the batched aggregate for the
+    /// current change (stragglers are then relayed individually).
+    pub agg_flushed: bool,
+    /// The suggested set of the latest change, kept across view
+    /// installation so the leader can still relay straggler syncs to
+    /// members that have not installed yet.
+    pub agg_scope: Option<ProcSet>,
+
+    // ----- §8 crash/recovery -----
+    /// While `true`, locally controlled actions and input effects are
+    /// disabled.
+    pub crashed: bool,
+}
+
+impl State {
+    /// Initial state of an end-point (everything per Figs. 9–11 initial
+    /// values; `current_view = mbrshp_view = v_p`).
+    pub fn new(pid: ProcessId) -> Self {
+        let initial = View::initial(pid);
+        State {
+            pid,
+            msgs: HashMap::new(),
+            last_sent: 0,
+            last_rcvd: HashMap::new(),
+            last_dlvrd: HashMap::new(),
+            current_view: initial.clone(),
+            mbrshp_view: initial,
+            view_msg: HashMap::new(),
+            reliable_set: [pid].into_iter().collect(),
+            start_change: None,
+            sync_msgs: HashMap::new(),
+            latest_sync_cid: HashMap::new(),
+            forwarded: HashSet::new(),
+            block_status: BlockStatus::Unblocked,
+            agg_buffer: BTreeMap::new(),
+            agg_flushed: false,
+            agg_scope: None,
+            crashed: false,
+        }
+    }
+
+    /// The buffer `msgs[q][v]`, creating it lazily.
+    pub fn buf_mut(&mut self, q: ProcessId, v: &View) -> &mut MsgSeq {
+        self.msgs.entry((q, v.clone())).or_default()
+    }
+
+    /// The buffer `msgs[q][v]` if it exists.
+    pub fn buf(&self, q: ProcessId, v: &View) -> Option<&MsgSeq> {
+        self.msgs.get(&(q, v.clone()))
+    }
+
+    /// `view_msg[q]`, defaulting to `q`'s initial view.
+    pub fn view_msg_of(&self, q: ProcessId) -> View {
+        self.view_msg.get(&q).cloned().unwrap_or_else(|| View::initial(q))
+    }
+
+    /// `last_dlvrd[q]`, defaulting to 0.
+    pub fn dlvrd(&self, q: ProcessId) -> MsgIndex {
+        self.last_dlvrd.get(&q).copied().unwrap_or(0)
+    }
+
+    /// `last_rcvd[q]`, defaulting to 0.
+    pub fn rcvd(&self, q: ProcessId) -> MsgIndex {
+        self.last_rcvd.get(&q).copied().unwrap_or(0)
+    }
+
+    /// `sync_msg[q][cid]`, if received/sent.
+    pub fn sync(&self, q: ProcessId, cid: StartChangeId) -> Option<&SyncRecord> {
+        self.sync_msgs.get(&(q, cid))
+    }
+
+    /// The cut this end-point would commit to right now: for every member
+    /// `q` of the current view, the longest gap-free prefix of
+    /// `msgs[q][current_view]` (Fig. 10, `co_rfifo.send sync_msg`
+    /// precondition).
+    pub fn commit_cut(&self) -> Cut {
+        self.current_view
+            .members()
+            .iter()
+            .map(|q| {
+                let n = self.buf(*q, &self.current_view).map_or(0, MsgSeq::longest_prefix);
+                (*q, n)
+            })
+            .collect()
+    }
+
+    /// The transitional set for moving from `current_view` into
+    /// `mbrshp_view` based on the synchronization messages selected by the
+    /// view's `startId` map — `None` if some required sync message is
+    /// still missing (Fig. 10, `view` precondition).
+    pub fn transitional_set(&self) -> Option<ProcSet> {
+        let v_new = &self.mbrshp_view;
+        let mut t = ProcSet::new();
+        for q in v_new.intersection(&self.current_view) {
+            let cid = v_new.start_id(q)?;
+            let rec = self.sync(q, cid)?;
+            if rec.view.as_ref() == Some(&self.current_view) {
+                t.insert(q);
+            }
+        }
+        Some(t)
+    }
+
+    /// Drops buffers and bookkeeping older than the previous view
+    /// generation. One generation is kept because forwarding duties for
+    /// the view just left may still be pending.
+    pub fn gc(&mut self, previous_view: &View) {
+        let floor = previous_view.id();
+        self.msgs.retain(|(_, v), _| v.id() >= floor);
+        self.forwarded.retain(|(_, _, v, _)| v.id() >= floor);
+        // Sync records older than the previous view's start ids are dead:
+        // future views carry strictly newer cids per member.
+        let prev = previous_view.clone();
+        self.sync_msgs.retain(|(q, cid), _| match prev.start_id(*q) {
+            Some(prev_cid) => *cid >= prev_cid,
+            None => true,
+        });
+    }
+
+    /// Resets everything to the initial state (§8 recovery — no stable
+    /// storage).
+    pub fn reset(&mut self) {
+        *self = State::new(self.pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn msg_seq_push_and_get() {
+        let mut s = MsgSeq::default();
+        s.push(AppMsg::from("a"));
+        s.push(AppMsg::from("b"));
+        assert_eq!(s.get(1), Some(&AppMsg::from("a")));
+        assert_eq!(s.get(2), Some(&AppMsg::from("b")));
+        assert_eq!(s.get(3), None);
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.longest_prefix(), 2);
+        assert_eq!(s.last_index(), 2);
+    }
+
+    #[test]
+    fn msg_seq_sparse_fill() {
+        let mut s = MsgSeq::default();
+        s.set(3, AppMsg::from("c"));
+        assert_eq!(s.longest_prefix(), 0);
+        assert_eq!(s.last_index(), 3);
+        s.set(1, AppMsg::from("a"));
+        assert_eq!(s.longest_prefix(), 1);
+        s.set(2, AppMsg::from("b"));
+        assert_eq!(s.longest_prefix(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn msg_seq_rejects_index_zero() {
+        MsgSeq::default().set(0, AppMsg::from("x"));
+    }
+
+    #[test]
+    fn initial_state_matches_figures() {
+        let st = State::new(p(1));
+        assert_eq!(st.current_view, View::initial(p(1)));
+        assert_eq!(st.mbrshp_view, View::initial(p(1)));
+        assert_eq!(st.reliable_set, [p(1)].into_iter().collect());
+        assert_eq!(st.last_sent, 0);
+        assert!(st.start_change.is_none());
+        assert_eq!(st.block_status, BlockStatus::Unblocked);
+        assert!(!st.crashed);
+    }
+
+    #[test]
+    fn commit_cut_covers_current_view_members() {
+        let mut st = State::new(p(1));
+        st.buf_mut(p(1), &View::initial(p(1))).push(AppMsg::from("m"));
+        let cut = st.commit_cut();
+        assert_eq!(cut.get(p(1)), 1);
+        assert_eq!(cut.get(p(2)), 0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut st = State::new(p(1));
+        st.last_sent = 5;
+        st.crashed = true;
+        st.reset();
+        assert_eq!(st.last_sent, 0);
+        assert!(!st.crashed);
+        assert_eq!(st.pid, p(1));
+    }
+}

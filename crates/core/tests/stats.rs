@@ -1,0 +1,91 @@
+//! The endpoint's protocol counters.
+
+use vsgm_core::{Config, Effect, Endpoint, Input};
+use vsgm_types::{
+    AppMsg, Cut, NetMsg, ProcSet, ProcessId, StartChangeId, SyncPayload, View, ViewId,
+};
+
+fn p(i: u64) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn set(ids: &[u64]) -> ProcSet {
+    ids.iter().map(|&i| p(i)).collect()
+}
+
+fn pair_view(epoch: u64, cid: u64) -> View {
+    View::new(
+        ViewId::new(epoch, 0),
+        [p(1), p(2)],
+        [(p(1), StartChangeId::new(cid)), (p(2), StartChangeId::new(cid))],
+    )
+}
+
+/// Drives one endpoint through a full view change, answering for the
+/// absent peer p2.
+fn full_change(ep: &mut Endpoint, epoch: u64, cid: u64) {
+    ep.handle(Input::StartChange { cid: StartChangeId::new(cid), set: set(&[1, 2]) });
+    ep.poll();
+    ep.handle(Input::BlockOk);
+    ep.poll();
+    ep.handle(Input::Net {
+        from: p(2),
+        msg: NetMsg::Sync(SyncPayload {
+            cid: StartChangeId::new(cid),
+            view: Some(ep.current_view().clone()),
+            cut: Cut::new(),
+        }),
+    });
+    ep.handle(Input::MbrshpView(pair_view(epoch, cid)));
+    ep.poll();
+}
+
+#[test]
+fn counters_track_the_protocol() {
+    let mut ep = Endpoint::new(p(1), Config::default());
+    assert_eq!(ep.stats(), Default::default());
+    full_change(&mut ep, 1, 1);
+    let s = ep.stats();
+    assert_eq!(s.views_installed, 1);
+    assert_eq!(s.blocks, 1);
+    assert_eq!(s.syncs_sent, 1);
+    assert_eq!(s.msgs_sent, 0);
+
+    ep.handle(Input::AppSend(AppMsg::from("one")));
+    ep.handle(Input::AppSend(AppMsg::from("two")));
+    let effects = ep.poll();
+    // Self-deliveries happen after the CO_RFIFO sends.
+    let delivered = effects.iter().filter(|e| matches!(e, Effect::DeliverApp { .. })).count();
+    let s = ep.stats();
+    assert_eq!(s.msgs_sent, 2);
+    assert_eq!(s.msgs_delivered as usize, delivered);
+    assert_eq!(s.msgs_delivered, 2);
+
+    full_change(&mut ep, 2, 2);
+    let s = ep.stats();
+    assert_eq!(s.views_installed, 2);
+    assert_eq!(s.blocks, 2);
+    assert_eq!(s.syncs_sent, 2);
+}
+
+#[test]
+fn recovery_resets_counters() {
+    let mut ep = Endpoint::new(p(1), Config::default());
+    full_change(&mut ep, 1, 1);
+    assert_ne!(ep.stats(), Default::default());
+    ep.handle(Input::Crash);
+    ep.handle(Input::Recover);
+    assert_eq!(ep.stats(), Default::default());
+}
+
+#[test]
+fn wv_stack_counts_no_syncs_or_blocks() {
+    let cfg = Config { stack: vsgm_core::Stack::Wv, ..Config::default() };
+    let mut ep = Endpoint::new(p(1), cfg);
+    ep.handle(Input::MbrshpView(pair_view(1, 1)));
+    ep.poll();
+    let s = ep.stats();
+    assert_eq!(s.views_installed, 1);
+    assert_eq!(s.syncs_sent, 0);
+    assert_eq!(s.blocks, 0);
+}

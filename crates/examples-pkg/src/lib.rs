@@ -1,0 +1,5 @@
+//! Example-hosting package for the vsgm workspace.
+//!
+//! The runnable sources live in the repository-level `examples/`
+//! directory; run them with e.g.
+//! `cargo run -p vsgm-examples --example quickstart`.

@@ -1,0 +1,19 @@
+//! Regenerates the experiment tables of `EXPERIMENTS.md`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p vsgm-harness --bin experiments            # all
+//! cargo run --release -p vsgm-harness --bin experiments -- E6 E10  # some
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tables = if args.is_empty() {
+        vsgm_harness::experiments::all()
+    } else {
+        args.iter().flat_map(|id| vsgm_harness::experiments::run_by_id(id)).collect()
+    };
+    for t in tables {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,39 @@
+//! Runs a JSON scenario file under full spec checking.
+//!
+//! ```text
+//! cargo run -p vsgm-harness --bin scenario -- path/to/scenario.json
+//! cargo run -p vsgm-harness --bin scenario -- --demo       # built-in demo
+//! cargo run -p vsgm-harness --bin scenario -- --print-demo # emit demo JSON
+//! ```
+
+use vsgm_harness::Scenario;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "--demo".into());
+    let scenario = match arg.as_str() {
+        "--demo" => Scenario::demo(),
+        "--print-demo" => {
+            println!("{}", Scenario::demo().to_json());
+            return;
+        }
+        path => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            Scenario::from_json(&text).unwrap_or_else(|e| panic!("bad scenario JSON: {e}"))
+        }
+    };
+    let outcome = scenario.run();
+    println!("events: {}", outcome.events);
+    for (kind, count) in &outcome.kind_counts {
+        println!("  {kind:20} {count}");
+    }
+    if outcome.violations.is_empty() {
+        println!("all specification checkers clean ✓");
+    } else {
+        eprintln!("SPEC VIOLATIONS:");
+        for v in &outcome.violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,31 @@
+//! **vsgm-harness** — deterministic simulation of the complete system.
+//!
+//! Composes GCS end-points (`vsgm-core` or the `vsgm-baseline`
+//! comparison algorithm) with the simulated `CO_RFIFO` network
+//! (`vsgm-net`), a membership service (`vsgm-membership`), and blocking
+//! application clients, under scenario control: partitions, heals,
+//! crashes, recoveries, cascaded membership changes, and message
+//! workloads. Every externally observable action is recorded in a global
+//! [`vsgm_ioa::Trace`] and — when checking is enabled — validated *online*
+//! against the full battery of specification automata from `vsgm-spec`.
+//!
+//! * [`sim::Sim`] — the oracle-driven simulator (scripted membership).
+//! * [`server_sim::ServerSim`] — end-to-end runs with real membership
+//!   servers exchanging proposals over their own simulated network.
+//! * [`metrics::Summary`] — trace digests the experiments report.
+//! * [`experiments`] — one function per experiment in `DESIGN.md` §5
+//!   (E1–E11 plus the layer ablation), each regenerating one table of
+//!   `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod scenario;
+pub mod server_sim;
+pub mod sim;
+
+pub use metrics::Summary;
+pub use scenario::{Scenario, Step};
+pub use sim::{Sim, SimOptions};

@@ -1,0 +1,1 @@
+//! Host package for the repository-level integration tests in `tests/`.

@@ -1,0 +1,38 @@
+//! Execution kit for I/O-automaton-style components (§2 of the paper).
+//!
+//! The paper models every component — end-points, the membership service,
+//! the `CO_RFIFO` substrate — as an I/O automaton: a state machine whose
+//! locally controlled actions fire when their preconditions hold, under a
+//! fairness condition over tasks. This crate provides the machinery shared
+//! by the executable transcriptions of those automata:
+//!
+//! * [`time::SimTime`] — discrete simulated time.
+//! * [`rng::SimRng`] — seeded, reproducible randomness for schedule and
+//!   fault exploration.
+//! * [`automaton::Automaton`] — the enabled/fire interface every algorithm
+//!   automaton in this workspace implements, plus a quiescence driver.
+//! * [`trace::Trace`] — a recorded global execution trace of external
+//!   actions, with projections and JSON export.
+//! * [`check::Checker`] — the interface spec automata implement to validate
+//!   traces (the executable counterpart of the paper's trace-inclusion
+//!   proofs), and [`check::CheckSet`] to run many at once.
+//! * [`sched::FairScheduler`] — weighted random choice among enabled tasks
+//!   with starvation avoidance, approximating the paper's low-level
+//!   fairness assumption.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod check;
+pub mod rng;
+pub mod sched;
+pub mod time;
+pub mod trace;
+
+pub use automaton::Automaton;
+pub use check::{CheckSet, Checker, Violation};
+pub use rng::SimRng;
+pub use sched::FairScheduler;
+pub use time::SimTime;
+pub use trace::{Trace, TraceEntry};

@@ -1,0 +1,190 @@
+//! Recorded execution traces of external actions.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use vsgm_types::{Event, ProcessId};
+
+/// One step of an execution trace: an external action, the step counter at
+/// which it occurred, and the simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Global step counter (total order over all events in the run).
+    pub step: u64,
+    /// Simulated time at which the action occurred.
+    pub time: SimTime,
+    /// The external action.
+    pub event: Event,
+}
+
+/// A global execution trace: the totally ordered sequence of external
+/// actions a run produced (§2, "a trace is a subsequence of an execution
+/// consisting solely of the automaton's external actions").
+///
+/// ```
+/// use vsgm_ioa::{Trace, SimTime};
+/// use vsgm_types::{Event, ProcessId, AppMsg};
+///
+/// let mut t = Trace::new();
+/// t.record(SimTime::ZERO, Event::Send { p: ProcessId::new(1), msg: AppMsg::from("m") });
+/// assert_eq!(t.len(), 1);
+/// assert_eq!(t.entries()[0].step, 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event at the given simulated time, assigning the next
+    /// step number, and returns the entry's step.
+    pub fn record(&mut self, time: SimTime, event: Event) -> u64 {
+        let step = self.entries.len() as u64;
+        self.entries.push(TraceEntry { step, time, event });
+        step
+    }
+
+    /// All entries, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Projection onto the actions of a single process (the per-process
+    /// subsequence used by local properties such as Local Monotonicity).
+    pub fn at_process(&self, p: ProcessId) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries.iter().filter(move |e| e.event.process() == p)
+    }
+
+    /// Projection onto the application-facing interface (what remains
+    /// visible after the §5 composition hides internal actions).
+    pub fn application_facing(&self) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries.iter().filter(|e| e.event.is_application_facing())
+    }
+
+    /// Counts events per [`Event::kind`] name.
+    pub fn kind_counts(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut out = std::collections::BTreeMap::new();
+        for e in &self.entries {
+            *out.entry(e.event.kind()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Serializes the trace as JSON lines (one entry per line), suitable
+    /// for archiving failing runs.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&serde_json::to_string(e).expect("trace entries are serializable"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace back from [`Trace::to_json_lines`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if any line fails to parse.
+    pub fn from_json_lines(s: &str) -> Result<Trace, serde_json::Error> {
+        let mut entries = Vec::new();
+        for line in s.lines().filter(|l| !l.trim().is_empty()) {
+            entries.push(serde_json::from_str(line)?);
+        }
+        Ok(Trace { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsgm_types::{AppMsg, View};
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, Event::Send { p: p(1), msg: AppMsg::from("a") });
+        t.record(
+            SimTime::from_micros(3),
+            Event::Deliver { p: p(2), q: p(1), msg: AppMsg::from("a") },
+        );
+        t.record(SimTime::from_micros(5), Event::Live { p: p(1), set: Default::default() });
+        t
+    }
+
+    #[test]
+    fn record_assigns_sequential_steps() {
+        let t = sample_trace();
+        let steps: Vec<u64> = t.entries().iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![0, 1, 2]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn process_projection() {
+        let t = sample_trace();
+        let at1: Vec<_> = t.at_process(p(1)).collect();
+        assert_eq!(at1.len(), 2); // Send + Live
+        let at2: Vec<_> = t.at_process(p(2)).collect();
+        assert_eq!(at2.len(), 1); // Deliver occurs at the receiver
+    }
+
+    #[test]
+    fn application_projection_hides_net_events() {
+        let t = sample_trace();
+        let app: Vec<_> = t.application_facing().collect();
+        assert_eq!(app.len(), 2);
+    }
+
+    #[test]
+    fn kind_counts_tally() {
+        let t = sample_trace();
+        let counts = t.kind_counts();
+        assert_eq!(counts["send"], 1);
+        assert_eq!(counts["deliver"], 1);
+        assert_eq!(counts["co_rfifo.live"], 1);
+    }
+
+    #[test]
+    fn json_lines_roundtrip() {
+        let mut t = sample_trace();
+        t.record(
+            SimTime::from_micros(9),
+            Event::GcsView { p: p(1), view: View::initial(p(1)), transitional: Default::default() },
+        );
+        let s = t.to_json_lines();
+        let back = Trace::from_json_lines(&s).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.entries()[3].event, t.entries()[3].event);
+    }
+
+    #[test]
+    fn from_json_lines_skips_blank_lines() {
+        let t = sample_trace();
+        let padded = format!("\n{}\n\n", t.to_json_lines());
+        assert_eq!(Trace::from_json_lines(&padded).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn from_json_lines_rejects_garbage() {
+        assert!(Trace::from_json_lines("not json").is_err());
+    }
+}

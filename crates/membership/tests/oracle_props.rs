@@ -1,0 +1,161 @@
+//! Property tests: every notification stream the membership oracle can
+//! produce — under arbitrary interleavings of cascaded changes, partial
+//! notifications, partitioned concurrent views, and recoveries — satisfies
+//! the `MBRSHP` specification automaton (Fig. 2).
+
+use proptest::prelude::*;
+use vsgm_ioa::{Checker, SimTime, TraceEntry};
+use vsgm_membership::MembershipOracle;
+use vsgm_spec::MbrshpSpec;
+use vsgm_types::{Event, ProcSet, ProcessId};
+
+const N: u64 = 5;
+
+fn p(i: u64) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn mask_to_set(mask: u8) -> ProcSet {
+    (0..N).filter(|i| mask & (1 << i) != 0).map(|i| p(i + 1)).collect()
+}
+
+#[derive(Debug, Clone)]
+enum OracleOp {
+    /// start_change suggesting the mask set (to all of it).
+    StartChange(u8),
+    /// start_change to a subset of the suggestion (partial notification).
+    PartialStartChange(u8, u8),
+    /// Form a view among the subset of the last suggestion, with a
+    /// proposer tie-breaker.
+    FormView(u8, u8),
+    /// Crash + recover a process (resets its mode).
+    Bounce(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = OracleOp> {
+    prop_oneof![
+        3 => (1u8..32).prop_map(OracleOp::StartChange),
+        2 => ((1u8..32), (1u8..32)).prop_map(|(t, s)| OracleOp::PartialStartChange(t, s)),
+        3 => ((1u8..32), (0u8..4)).prop_map(|(m, pr)| OracleOp::FormView(m, pr)),
+        1 => (0u64..N).prop_map(OracleOp::Bounce),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn oracle_output_always_satisfies_mbrshp_spec(
+        ops in prop::collection::vec(op_strategy(), 1..30),
+    ) {
+        let mut oracle = MembershipOracle::new();
+        let mut spec = MbrshpSpec::new();
+        let mut step = 0u64;
+        let mut proposer_seq = 10u64;
+        let feed = |spec: &mut MbrshpSpec, step: &mut u64, event: Event| {
+            let entry = TraceEntry { step: *step, time: SimTime::ZERO, event };
+            *step += 1;
+            spec.observe(&entry).expect("oracle must be spec-compliant");
+        };
+        for op in &ops {
+            match op {
+                OracleOp::StartChange(mask) => {
+                    let set = mask_to_set(*mask);
+                    for n in oracle.start_change(&set) {
+                        feed(&mut spec, &mut step, Event::MbrshpStartChange {
+                            p: n.p, cid: n.cid, set: n.set,
+                        });
+                    }
+                }
+                OracleOp::PartialStartChange(targets, suggested) => {
+                    let sugg = mask_to_set(*targets | *suggested);
+                    let targ: ProcSet =
+                        mask_to_set(*targets).intersection(&sugg).copied().collect();
+                    if targ.is_empty() { continue; }
+                    for n in oracle.start_change_for(&targ, &sugg) {
+                        feed(&mut spec, &mut step, Event::MbrshpStartChange {
+                            p: n.p, cid: n.cid, set: n.set,
+                        });
+                    }
+                }
+                OracleOp::FormView(mask, proposer) => {
+                    // Members must all have a pending change covering the
+                    // member set; restrict to processes with pending
+                    // changes whose suggestion covers the candidate set.
+                    let candidates = mask_to_set(*mask);
+                    let pending: ProcSet = candidates
+                        .iter()
+                        .copied()
+                        .filter(|q| oracle.change_pending(*q))
+                        .collect();
+                    if pending.is_empty() { continue; }
+                    // Issue a covering cascade so form_view's precondition
+                    // holds (the oracle panics otherwise — the scenario,
+                    // not the oracle, is responsible for coverage).
+                    for n in oracle.start_change(&pending) {
+                        feed(&mut spec, &mut step, Event::MbrshpStartChange {
+                            p: n.p, cid: n.cid, set: n.set,
+                        });
+                    }
+                    proposer_seq += 1;
+                    let v = oracle.form_view(&pending, proposer_seq + *proposer as u64);
+                    for m in &pending {
+                        feed(&mut spec, &mut step, Event::MbrshpView {
+                            p: *m, view: v.clone(),
+                        });
+                    }
+                }
+                OracleOp::Bounce(i) => {
+                    let q = p(1 + i % N);
+                    feed(&mut spec, &mut step, Event::Crash { p: q });
+                    oracle.recover(q);
+                    feed(&mut spec, &mut step, Event::Recover { p: q });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_partitioned_views_never_violate_monotonicity(
+        splits in prop::collection::vec(1u64..N, 1..8),
+    ) {
+        let mut oracle = MembershipOracle::new();
+        let mut spec = MbrshpSpec::new();
+        let mut step = 0u64;
+        let feed = |spec: &mut MbrshpSpec, step: &mut u64, event: Event| {
+            let entry = TraceEntry { step: *step, time: SimTime::ZERO, event };
+            *step += 1;
+            spec.observe(&entry).expect("spec holds");
+        };
+        let everyone: ProcSet = (1..=N).map(p).collect();
+        let mut proposer = 0u64;
+        for split in splits {
+            // Split into two components, each forms a view, then merge.
+            let a: ProcSet = (1..=split).map(p).collect();
+            let b: ProcSet = (split + 1..=N).map(p).collect();
+            for (grp, tag) in [(a, 0u64), (b, 1)] {
+                if grp.is_empty() { continue; }
+                for n in oracle.start_change_for(&grp, &grp) {
+                    feed(&mut spec, &mut step, Event::MbrshpStartChange {
+                        p: n.p, cid: n.cid, set: n.set,
+                    });
+                }
+                proposer += 1;
+                let v = oracle.form_view(&grp, proposer * 2 + tag);
+                for m in &grp {
+                    feed(&mut spec, &mut step, Event::MbrshpView { p: *m, view: v.clone() });
+                }
+            }
+            for n in oracle.start_change(&everyone) {
+                feed(&mut spec, &mut step, Event::MbrshpStartChange {
+                    p: n.p, cid: n.cid, set: n.set,
+                });
+            }
+            proposer += 1;
+            let merged = oracle.form_view(&everyone, proposer * 2);
+            for m in &everyone {
+                feed(&mut spec, &mut step, Event::MbrshpView { p: *m, view: merged.clone() });
+            }
+        }
+    }
+}

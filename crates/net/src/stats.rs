@@ -1,0 +1,87 @@
+//! Traffic accounting for experiments.
+
+use std::collections::BTreeMap;
+use crate::Wire;
+
+/// Counts and byte totals per message tag, plus loss accounting.
+///
+/// The experiment harness reads these to report the series the paper's
+/// claims are judged on (messages per view change, sync-message bytes,
+/// forwarded copies, …).
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// `(count, bytes)` per message tag, counted per (sender, receiver)
+    /// pair — a multicast to `k` peers counts `k` times, matching the
+    /// spec's per-channel queues.
+    per_tag: BTreeMap<&'static str, (u64, u64)>,
+    /// Messages dropped by the network (loss outside reliable sets).
+    pub dropped: u64,
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+}
+
+impl NetStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records one point-to-point enqueue of `msg`.
+    pub fn record_send<M: Wire>(&mut self, msg: &M) {
+        let e = self.per_tag.entry(msg.tag()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += msg.wire_size() as u64;
+    }
+
+    /// Number of point-to-point sends of messages with `tag`.
+    pub fn count(&self, tag: &str) -> u64 {
+        self.per_tag.get(tag).map_or(0, |e| e.0)
+    }
+
+    /// Total bytes of messages with `tag`.
+    pub fn bytes(&self, tag: &str) -> u64 {
+        self.per_tag.get(tag).map_or(0, |e| e.1)
+    }
+
+    /// Total point-to-point sends across all tags.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_tag.values().map(|e| e.0).sum()
+    }
+
+    /// Total bytes across all tags.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_tag.values().map(|e| e.1).sum()
+    }
+
+    /// Iterates `(tag, count, bytes)` rows for reports.
+    pub fn rows(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.per_tag.iter().map(|(t, (c, b))| (*t, *c, *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsgm_types::{AppMsg, NetMsg};
+
+    #[test]
+    fn records_counts_and_bytes() {
+        let mut s = NetStats::new();
+        let m = NetMsg::App(AppMsg::from("abcd"));
+        s.record_send(&m);
+        s.record_send(&m);
+        assert_eq!(s.count("app_msg"), 2);
+        assert_eq!(s.bytes("app_msg"), 2 * m.wire_size() as u64);
+        assert_eq!(s.total_msgs(), 2);
+        assert_eq!(s.count("sync_msg"), 0);
+    }
+
+    #[test]
+    fn rows_enumerate_tags() {
+        let mut s = NetStats::new();
+        s.record_send(&NetMsg::App(AppMsg::from("x")));
+        let rows: Vec<_> = s.rows().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "app_msg");
+    }
+}

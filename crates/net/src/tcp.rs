@@ -1,0 +1,320 @@
+//! A threaded TCP transport: real sockets with the per-pair reliable FIFO
+//! semantics `CO_RFIFO` requires.
+//!
+//! TCP already provides connection-oriented, gap-free, FIFO byte streams
+//! per direction, which is exactly the channel model of Fig. 3 for peers
+//! in the `reliable_set`. Frames are length-prefixed JSON-serialized
+//! [`NetMsg`]s; each direction of a pair uses its own connection,
+//! established lazily on first send and identified by an 8-byte process-id
+//! handshake.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use vsgm_types::{NetMsg, ProcSet, ProcessId};
+
+/// A point-to-point message transport for GCS end-points.
+///
+/// The simulation harness drives end-points directly; live deployments
+/// drive them through a `Transport`. Implementations must provide
+/// per-ordered-pair FIFO delivery for connected peers.
+pub trait Transport: Send {
+    /// This node's process identity.
+    fn me(&self) -> ProcessId;
+
+    /// Sends `msg` to every process in `to` (self is skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered; peers before the failing
+    /// one will already have been sent to.
+    fn send(&self, to: &ProcSet, msg: &NetMsg) -> io::Result<()>;
+
+    /// Receives the next incoming message, waiting up to `timeout`.
+    fn recv_timeout(&self, timeout: Duration) -> Option<(ProcessId, NetMsg)>;
+
+    /// Receives the next incoming message if one is already queued.
+    fn try_recv(&self) -> Option<(ProcessId, NetMsg)>;
+}
+
+/// TCP implementation of [`Transport`].
+///
+/// ```no_run
+/// use vsgm_net::{TcpTransport, Transport};
+/// use vsgm_types::{ProcessId, NetMsg, AppMsg};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let a = TcpTransport::bind(ProcessId::new(1), "127.0.0.1:0")?;
+/// let b = TcpTransport::bind(ProcessId::new(2), "127.0.0.1:0")?;
+/// a.register_peer(ProcessId::new(2), b.local_addr());
+/// a.send(&[ProcessId::new(2)].into_iter().collect(), &NetMsg::App(AppMsg::from("hi")))?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct TcpTransport {
+    me: ProcessId,
+    local_addr: SocketAddr,
+    addr_book: Arc<Mutex<HashMap<ProcessId, SocketAddr>>>,
+    outgoing: Mutex<HashMap<ProcessId, TcpStream>>,
+    incoming: Receiver<(ProcessId, NetMsg)>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TcpTransport {
+    /// Binds a listener and starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener.
+    pub fn bind(me: ProcessId, addr: &str) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let t = TcpTransport {
+            me,
+            local_addr,
+            addr_book: Arc::new(Mutex::new(HashMap::new())),
+            outgoing: Mutex::new(HashMap::new()),
+            incoming: rx,
+            shutdown: Arc::clone(&shutdown),
+        };
+        spawn_accept_loop(listener, tx, shutdown);
+        Ok(t)
+    }
+
+    /// The address peers should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Records where `peer` can be reached.
+    pub fn register_peer(&self, peer: ProcessId, addr: SocketAddr) {
+        self.addr_book.lock().insert(peer, addr);
+    }
+
+    fn connection_to(&self, peer: ProcessId) -> io::Result<TcpStream> {
+        if let Some(s) = self.outgoing.lock().get(&peer) {
+            return s.try_clone();
+        }
+        let addr = self.addr_book.lock().get(&peer).copied().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no address registered for {peer}"))
+        })?;
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Handshake: announce who we are.
+        stream.write_all(&self.me.raw().to_le_bytes())?;
+        let clone = stream.try_clone()?;
+        self.outgoing.lock().insert(peer, stream);
+        Ok(clone)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn send(&self, to: &ProcSet, msg: &NetMsg) -> io::Result<()> {
+        let frame = encode_frame(msg)?;
+        for q in to {
+            if *q == self.me {
+                continue;
+            }
+            let result = self.connection_to(*q).and_then(|mut s| s.write_all(&frame));
+            if let Err(e) = result {
+                // Drop the broken connection so the next send reconnects.
+                self.outgoing.lock().remove(q);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<(ProcessId, NetMsg)> {
+        self.incoming.recv_timeout(timeout).ok()
+    }
+
+    fn try_recv(&self) -> Option<(ProcessId, NetMsg)> {
+        self.incoming.try_recv().ok()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("me", &self.me)
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+fn encode_frame(msg: &NetMsg) -> io::Result<Vec<u8>> {
+    let body = serde_json::to_vec(msg)?;
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
+fn spawn_accept_loop(
+    listener: TcpListener,
+    tx: Sender<(ProcessId, NetMsg)>,
+    shutdown: Arc<AtomicBool>,
+) {
+    std::thread::Builder::new()
+        .name("vsgm-tcp-accept".into())
+        .spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let tx = tx.clone();
+                        let shutdown = Arc::clone(&shutdown);
+                        std::thread::Builder::new()
+                            .name("vsgm-tcp-reader".into())
+                            .spawn(move || reader_loop(stream, tx, shutdown))
+                            .expect("spawn reader thread");
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn accept thread");
+}
+
+fn reader_loop(mut stream: TcpStream, tx: Sender<(ProcessId, NetMsg)>, shutdown: Arc<AtomicBool>) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    // Handshake: the 8-byte peer id.
+    let mut id_buf = [0u8; 8];
+    if stream.read_exact(&mut id_buf).is_err() {
+        return;
+    }
+    let peer = ProcessId::new(u64::from_le_bytes(id_buf));
+    let mut len_buf = [0u8; 4];
+    while !shutdown.load(Ordering::SeqCst) {
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut body = vec![0u8; len];
+        if stream.read_exact(&mut body).is_err() {
+            return;
+        }
+        let Ok(msg) = serde_json::from_slice::<NetMsg>(&body) else { return };
+        if tx.send((peer, msg)).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsgm_types::AppMsg;
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let a = TcpTransport::bind(p(1), "127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind(p(2), "127.0.0.1:0").unwrap();
+        a.register_peer(p(2), b.local_addr());
+        b.register_peer(p(1), a.local_addr());
+        (a, b)
+    }
+
+    fn only(to: u64) -> ProcSet {
+        [p(to)].into_iter().collect()
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let (a, b) = pair();
+        a.send(&only(2), &NetMsg::App(AppMsg::from("hello"))).unwrap();
+        let (from, msg) = b.recv_timeout(Duration::from_secs(5)).expect("message arrives");
+        assert_eq!(from, p(1));
+        assert_eq!(msg, NetMsg::App(AppMsg::from("hello")));
+    }
+
+    #[test]
+    fn fifo_order_per_peer() {
+        let (a, b) = pair();
+        for i in 0..100 {
+            a.send(&only(2), &NetMsg::App(AppMsg::from(format!("m{i}").as_str()))).unwrap();
+        }
+        for i in 0..100 {
+            let (_, msg) = b.recv_timeout(Duration::from_secs(5)).expect("message arrives");
+            assert_eq!(msg, NetMsg::App(AppMsg::from(format!("m{i}").as_str())));
+        }
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let (a, b) = pair();
+        a.send(&only(2), &NetMsg::App(AppMsg::from("ping"))).unwrap();
+        let (_, msg) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(msg, NetMsg::App(AppMsg::from("ping")));
+        b.send(&only(1), &NetMsg::App(AppMsg::from("pong"))).unwrap();
+        let (from, msg) = a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, p(2));
+        assert_eq!(msg, NetMsg::App(AppMsg::from("pong")));
+    }
+
+    #[test]
+    fn self_send_is_skipped() {
+        let (a, _b) = pair();
+        a.send(&only(1), &NetMsg::App(AppMsg::from("self"))).unwrap();
+        assert!(a.try_recv().is_none());
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let a = TcpTransport::bind(p(1), "127.0.0.1:0").unwrap();
+        let err = a.send(&only(9), &NetMsg::App(AppMsg::from("x"))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn large_message_roundtrip() {
+        let (a, b) = pair();
+        let payload = AppMsg::from(vec![7u8; 1 << 20]);
+        a.send(&only(2), &NetMsg::App(payload.clone())).unwrap();
+        let (_, msg) = b.recv_timeout(Duration::from_secs(10)).expect("large frame arrives");
+        assert_eq!(msg, NetMsg::App(payload));
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (a, b) = pair();
+        assert!(b.try_recv().is_none());
+        a.send(&only(2), &NetMsg::App(AppMsg::from("x"))).unwrap();
+        // Poll until the reader thread pushes it through.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some((_, msg)) = b.try_recv() {
+                assert_eq!(msg, NetMsg::App(AppMsg::from("x")));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "message never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

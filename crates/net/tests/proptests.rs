@@ -1,0 +1,219 @@
+//! Property-based tests of the simulated network against the `CO_RFIFO`
+//! channel semantics, under random operation sequences.
+
+use proptest::prelude::*;
+use vsgm_ioa::{SimRng, SimTime};
+use vsgm_net::{LatencyModel, SimNet};
+use vsgm_types::{AppMsg, NetMsg, ProcSet, ProcessId};
+
+const N: u64 = 4;
+
+#[derive(Debug, Clone)]
+enum NetOp {
+    /// `p_{1+(a%N)}` multicasts a fresh message to everyone else.
+    Send(u64),
+    /// Set sender's reliable set from a bitmask.
+    Reliable(u64, u8),
+    /// Partition at a split point.
+    Partition(u64),
+    Heal,
+    Crash(u64),
+    Recover(u64),
+    /// Deliver the next ready batch.
+    Deliver,
+}
+
+fn op_strategy() -> impl Strategy<Value = NetOp> {
+    prop_oneof![
+        4 => any::<u64>().prop_map(NetOp::Send),
+        2 => (any::<u64>(), any::<u8>()).prop_map(|(a, m)| NetOp::Reliable(a, m)),
+        1 => (1..N).prop_map(NetOp::Partition),
+        1 => Just(NetOp::Heal),
+        1 => any::<u64>().prop_map(NetOp::Crash),
+        1 => any::<u64>().prop_map(NetOp::Recover),
+        4 => Just(NetOp::Deliver),
+    ]
+}
+
+fn pid(a: u64) -> ProcessId {
+    ProcessId::new(1 + (a % N))
+}
+
+fn all_procs() -> Vec<ProcessId> {
+    (1..=N).map(ProcessId::new).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Per-channel FIFO: for each ordered pair, the delivered sequence is
+    /// a subsequence of the sent sequence, in order, without duplicates.
+    #[test]
+    fn deliveries_are_ordered_subsequences(
+        seed in any::<u64>(),
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut net: SimNet<NetMsg> =
+            SimNet::new(all_procs(), LatencyModel::lan(), SimRng::new(seed));
+        let mut now = SimTime::ZERO;
+        let mut seq = 0u64;
+        let mut sent: std::collections::HashMap<(ProcessId, ProcessId), Vec<u64>> =
+            Default::default();
+        let mut delivered: std::collections::HashMap<(ProcessId, ProcessId), Vec<u64>> =
+            Default::default();
+        for op in &ops {
+            match op {
+                NetOp::Send(a) => {
+                    let from = pid(*a);
+                    if net.is_crashed(from) { continue; }
+                    seq += 1;
+                    let to: ProcSet = all_procs().into_iter().filter(|q| *q != from).collect();
+                    let msg = NetMsg::App(AppMsg::from(seq.to_string().as_str()));
+                    // Track only destinations that could actually accept it.
+                    for q in &to {
+                        let kept = net.reliable_set(from).contains(q) || net.connected(from, *q);
+                        if kept {
+                            sent.entry((from, *q)).or_default().push(seq);
+                        }
+                    }
+                    net.send(now, from, &to, &msg);
+                }
+                NetOp::Reliable(a, mask) => {
+                    let p = pid(*a);
+                    let set: ProcSet = (0..N)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| ProcessId::new(i + 1))
+                        .chain([p])
+                        .collect();
+                    net.set_reliable(p, set);
+                }
+                NetOp::Partition(split) => {
+                    let a: Vec<ProcessId> = (1..=*split).map(ProcessId::new).collect();
+                    let b: Vec<ProcessId> = (*split + 1..=N).map(ProcessId::new).collect();
+                    net.partition(&[a, b]);
+                }
+                NetOp::Heal => net.heal(now),
+                NetOp::Crash(a) => net.crash(pid(*a)),
+                NetOp::Recover(a) => net.recover(pid(*a)),
+                NetOp::Deliver => {
+                    if let Some(t) = net.next_arrival() {
+                        now = t;
+                        for (from, to, msg) in net.pop_ready(t) {
+                            if let NetMsg::App(m) = msg {
+                                let v: u64 =
+                                    String::from_utf8_lossy(m.as_bytes()).parse().unwrap();
+                                delivered.entry((from, to)).or_default().push(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Drain the rest.
+        while let Some(t) = net.next_arrival() {
+            for (from, to, msg) in net.pop_ready(t) {
+                if let NetMsg::App(m) = msg {
+                    let v: u64 = String::from_utf8_lossy(m.as_bytes()).parse().unwrap();
+                    delivered.entry((from, to)).or_default().push(v);
+                }
+            }
+        }
+        for (chan, got) in &delivered {
+            let sent_list = sent.get(chan).cloned().unwrap_or_default();
+            // `got` must be a subsequence of `sent_list` (strictly
+            // increasing positions), hence ordered and duplicate-free.
+            let mut it = sent_list.iter();
+            for g in got {
+                prop_assert!(
+                    it.any(|s| s == g),
+                    "channel {chan:?}: delivered {g} out of order or twice; sent {sent_list:?}, got {got:?}"
+                );
+            }
+        }
+    }
+
+    /// Messages to reliable, connected peers are never lost: after a
+    /// quiet network with no faults, everything sent arrives.
+    #[test]
+    fn reliable_connected_channels_lose_nothing(
+        seed in any::<u64>(),
+        burst in 1usize..40,
+    ) {
+        let mut net: SimNet<NetMsg> =
+            SimNet::new(all_procs(), LatencyModel::lan(), SimRng::new(seed));
+        let everyone: ProcSet = all_procs().into_iter().collect();
+        for p in all_procs() {
+            net.set_reliable(p, everyone.clone());
+        }
+        for k in 0..burst {
+            net.send(
+                SimTime::from_micros(k as u64),
+                ProcessId::new(1),
+                &everyone,
+                &NetMsg::App(AppMsg::from(format!("{k}").as_str())),
+            );
+        }
+        let mut count = 0;
+        while let Some(t) = net.next_arrival() {
+            count += net.pop_ready(t).len();
+        }
+        prop_assert_eq!(count, burst * (N as usize - 1));
+        prop_assert_eq!(net.stats().dropped, 0);
+    }
+
+    /// Arrival times within one channel never decrease (FIFO timing).
+    #[test]
+    fn arrival_times_monotone_per_channel(seed in any::<u64>(), burst in 1usize..30) {
+        let mut net: SimNet<NetMsg> = SimNet::new(
+            all_procs(),
+            LatencyModel::Uniform { lo: SimTime::from_micros(1), hi: SimTime::from_micros(500) },
+            SimRng::new(seed),
+        );
+        let p1 = ProcessId::new(1);
+        let p2: ProcSet = [ProcessId::new(2)].into_iter().collect();
+        net.set_reliable(p1, [p1, ProcessId::new(2)].into_iter().collect());
+        for k in 0..burst {
+            net.send(
+                SimTime::from_micros(k as u64),
+                p1,
+                &p2,
+                &NetMsg::App(AppMsg::from(format!("{k}").as_str())),
+            );
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(t) = net.next_arrival() {
+            prop_assert!(t >= last);
+            last = t;
+            net.pop_ready(t);
+        }
+    }
+
+    /// live_set is always reflexive and symmetric among non-crashed
+    /// processes.
+    #[test]
+    fn live_set_symmetric(
+        seed in any::<u64>(),
+        split in 1..N,
+        crash_a in any::<u64>(),
+    ) {
+        let mut net: SimNet<NetMsg> =
+            SimNet::new(all_procs(), LatencyModel::lan(), SimRng::new(seed));
+        let a: Vec<ProcessId> = (1..=split).map(ProcessId::new).collect();
+        let b: Vec<ProcessId> = (split + 1..=N).map(ProcessId::new).collect();
+        net.partition(&[a, b]);
+        net.crash(pid(crash_a));
+        for p in all_procs() {
+            prop_assert!(net.live_set(p).contains(&p), "reflexive at {p}");
+            for q in all_procs() {
+                if net.is_crashed(p) || net.is_crashed(q) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    net.live_set(p).contains(&q),
+                    net.live_set(q).contains(&p),
+                    "symmetry between {} and {}", p, q
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! `TRANS_SET:SPEC` — transitional sets (Fig. 6, Property 4.1).
+
+use std::collections::HashMap;
+use vsgm_ioa::{Checker, TraceEntry, Violation};
+use vsgm_types::{Event, ProcSet, ProcessId, View};
+
+/// Checker for the Transitional Set property (Property 4.1):
+///
+/// > When a process `p` moves from view `v` to view `v'`, the transitional
+/// > set it delivers with `v'` is a subset of `v.set ∩ v'.set` which
+/// > includes all the processes that move directly from `v` to `v'`
+/// > (including `p`), and does not include any member of `v'.set` that
+/// > moves to `v'` from any view other than `v`.
+///
+/// The subset and self-membership clauses are checked at each `view`
+/// event; the cross-process clauses need the whole trace (another process
+/// may install `v'` later), so they run in [`Checker::finish`].
+#[derive(Debug, Default)]
+pub struct TransSetSpec {
+    current_view: HashMap<ProcessId, View>,
+    /// Every observed transition: (process, previous view, new view, T).
+    transitions: Vec<Transition>,
+}
+
+#[derive(Debug, Clone)]
+struct Transition {
+    p: ProcessId,
+    prev: View,
+    next: View,
+    t_set: ProcSet,
+    step: u64,
+}
+
+impl TransSetSpec {
+    /// Creates the checker in the spec's initial state.
+    pub fn new() -> Self {
+        TransSetSpec::default()
+    }
+
+    fn view_of(&self, p: ProcessId) -> View {
+        self.current_view.get(&p).cloned().unwrap_or_else(|| View::initial(p))
+    }
+}
+
+impl Checker for TransSetSpec {
+    fn name(&self) -> &'static str {
+        "TRANS_SET:SPEC"
+    }
+
+    fn observe(&mut self, entry: &TraceEntry) -> Result<(), Violation> {
+        let step = entry.step;
+        match &entry.event {
+            Event::GcsView { p, view: next, transitional } => {
+                let prev = self.view_of(*p);
+                // T ⊆ v.set ∩ v'.set
+                for q in transitional {
+                    if !prev.contains(*q) || !next.contains(*q) {
+                        return Err(Violation::at_step(
+                            "TRANS_SET:SPEC",
+                            step,
+                            format!(
+                                "view_{p}: transitional set member {q} not in \
+                                 {prev}.set ∩ {next}.set"
+                            ),
+                        ));
+                    }
+                }
+                // p ∈ T
+                if !transitional.contains(p) {
+                    return Err(Violation::at_step(
+                        "TRANS_SET:SPEC",
+                        step,
+                        format!("view_{p}: {p} missing from its own transitional set"),
+                    ));
+                }
+                self.transitions.push(Transition {
+                    p: *p,
+                    prev,
+                    next: next.clone(),
+                    t_set: transitional.clone(),
+                    step,
+                });
+                self.current_view.insert(*p, next.clone());
+                Ok(())
+            }
+            Event::Recover { p } => {
+                self.current_view.insert(*p, View::initial(*p));
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), Violation> {
+        // Group transitions by target view (full-triple identity).
+        let mut by_next: HashMap<&View, Vec<&Transition>> = HashMap::new();
+        for t in &self.transitions {
+            by_next.entry(&t.next).or_default().push(t);
+        }
+        for (next, group) in by_next {
+            for a in &group {
+                for b in &group {
+                    if a.p == b.p {
+                        continue;
+                    }
+                    // b moved to `next` from b.prev.
+                    if a.t_set.contains(&b.p) && b.prev != a.prev {
+                        return Err(Violation::at_end(
+                            "TRANS_SET:SPEC",
+                            format!(
+                                "step {}: {}'s transitional set for {next} contains {} \
+                                 which moved from {} (not {})",
+                                a.step, a.p, b.p, b.prev, a.prev
+                            ),
+                        ));
+                    }
+                    if b.prev == a.prev && !a.t_set.contains(&b.p) {
+                        return Err(Violation::at_end(
+                            "TRANS_SET:SPEC",
+                            format!(
+                                "step {}: {} moved {} -> {next} together with {} but is \
+                                 missing from {}'s transitional set",
+                                a.step, b.p, a.prev, a.p, a.p
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsgm_ioa::{SimTime, Trace};
+    use vsgm_types::{StartChangeId, ViewId};
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn set(ids: &[u64]) -> ProcSet {
+        ids.iter().map(|&i| p(i)).collect()
+    }
+
+    fn view(epoch: u64, members: &[u64]) -> View {
+        View::new(
+            ViewId::new(epoch, 0),
+            members.iter().map(|&i| p(i)),
+            members.iter().map(|&i| (p(i), StartChangeId::new(epoch))),
+        )
+    }
+
+    fn run(events: Vec<Event>) -> Vec<Violation> {
+        let mut trace = Trace::new();
+        for e in events {
+            trace.record(SimTime::ZERO, e);
+        }
+        let mut spec = TransSetSpec::new();
+        let mut out: Vec<Violation> =
+            trace.entries().iter().filter_map(|e| spec.observe(e).err()).collect();
+        if let Err(v) = spec.finish() {
+            out.push(v);
+        }
+        out
+    }
+
+    fn install(at: u64, v: &View, t: &[u64]) -> Event {
+        Event::GcsView { p: p(at), view: v.clone(), transitional: set(t) }
+    }
+
+    #[test]
+    fn joint_movers_with_full_t_accepted() {
+        let v1 = view(1, &[1, 2]);
+        let v2 = view(2, &[1, 2]);
+        let violations = run(vec![
+            install(1, &v1, &[1]),
+            install(2, &v1, &[2]),
+            install(1, &v2, &[1, 2]),
+            install(2, &v2, &[1, 2]),
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn t_must_contain_self() {
+        let v1 = view(1, &[1, 2]);
+        let violations = run(vec![install(1, &v1, &[])]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("missing from its own"));
+    }
+
+    #[test]
+    fn t_subset_of_intersection() {
+        // p3 is in neither p1's previous view (initial singleton) nor...
+        let v1 = view(1, &[1, 3]);
+        let violations = run(vec![install(1, &v1, &[1, 3])]);
+        // p3 ∈ v1.set but p3 ∉ initial(p1).set ⇒ violation.
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("∩"));
+    }
+
+    #[test]
+    fn member_from_other_view_must_be_excluded() {
+        // p1 moves v1 -> v3; p2 moves v2 -> v3. p1 wrongly includes p2.
+        let v1 = view(1, &[1, 2]);
+        let v2 = view(2, &[1, 2]);
+        let v3 = view(3, &[1, 2]);
+        let violations = run(vec![
+            install(1, &v1, &[1]),
+            install(2, &v2, &[2]),
+            install(1, &v3, &[1, 2]), // claims p2 moved with it from v1
+            install(2, &v3, &[2]),    // but p2 moved from v2
+        ]);
+        assert!(
+            violations.iter().any(|v| v.message.contains("which moved from")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn joint_mover_must_be_included() {
+        let v1 = view(1, &[1, 2]);
+        let v2 = view(2, &[1, 2]);
+        let violations = run(vec![
+            install(1, &v1, &[1]),
+            install(2, &v1, &[2]),
+            install(1, &v2, &[1]), // both moved v1 -> v2, p2 missing from p1's T
+            install(2, &v2, &[1, 2]),
+        ]);
+        assert!(
+            violations.iter().any(|v| v.message.contains("missing from")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn different_transitional_sets_for_different_prev_views_ok() {
+        // From the paper: different transitional sets may be associated
+        // with the same view v' at different processes.
+        let v1 = view(1, &[1, 2]);
+        let v2 = view(2, &[1, 2]);
+        let v3 = view(3, &[1, 2]);
+        let violations = run(vec![
+            install(1, &v1, &[1]),
+            install(2, &v2, &[2]),
+            install(1, &v3, &[1]),
+            install(2, &v3, &[2]),
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn recovery_changes_prev_view_to_initial() {
+        let v1 = view(1, &[1, 2]);
+        let v2 = view(2, &[1, 2]);
+        // p1 crashes in v1 and recovers; it then moves initial -> v2, so
+        // p2 (moving v1 -> v2) must NOT include p1 in its transitional set.
+        let violations = run(vec![
+            install(1, &v1, &[1]),
+            install(2, &v1, &[2]),
+            Event::Crash { p: p(1) },
+            Event::Recover { p: p(1) },
+            install(1, &v2, &[1]),
+            install(2, &v2, &[2]),
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

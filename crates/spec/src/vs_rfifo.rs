@@ -1,0 +1,247 @@
+//! `VS_RFIFO:SPEC` — virtual synchrony via agreed cuts (Fig. 5).
+
+use std::collections::HashMap;
+use vsgm_ioa::{Checker, TraceEntry, Violation};
+use vsgm_types::{Cut, Event, ProcessId, View};
+
+/// Checker for the Virtual Synchrony property (Fig. 5).
+///
+/// The spec automaton nondeterministically fixes, per pair of views
+/// `(v, v')`, a *cut* — the exact per-sender message counts every process
+/// moving from `v` to `v'` must have delivered in `v` at the moment it
+/// installs `v'`. The checker reconstructs the cut from the **first**
+/// process observed making the transition (simulating the spec's internal
+/// `set_cut` just before that `view` event, exactly as the paper's
+/// refinement proof does with the `H_cut` history variable) and requires
+/// every later process making the same transition to match it.
+#[derive(Debug, Default)]
+pub struct VsRfifoSpec {
+    current_view: HashMap<ProcessId, View>,
+    /// Messages delivered to `receiver` from `sender` in the receiver's
+    /// current view: `last_dlvrd[(sender, receiver)]`.
+    last_dlvrd: HashMap<(ProcessId, ProcessId), u64>,
+    /// `cut[v][v']`, keyed by the (full-triple) views.
+    cut: HashMap<(View, View), Cut>,
+}
+
+impl VsRfifoSpec {
+    /// Creates the checker in the spec's initial state.
+    pub fn new() -> Self {
+        VsRfifoSpec::default()
+    }
+
+    fn view_of(&self, p: ProcessId) -> View {
+        self.current_view.get(&p).cloned().unwrap_or_else(|| View::initial(p))
+    }
+
+    fn delivered_cut(&self, receiver: ProcessId) -> Cut {
+        self.last_dlvrd
+            .iter()
+            .filter(|((_, r), _)| *r == receiver)
+            .map(|((s, _), n)| (*s, *n))
+            .collect()
+    }
+
+    /// The agreed cut recorded for the transition `v → v'`, if any process
+    /// has made it. Exposed for tests and experiment metrics.
+    pub fn recorded_cut(&self, v: &View, v_new: &View) -> Option<&Cut> {
+        self.cut.get(&(v.clone(), v_new.clone()))
+    }
+}
+
+impl Checker for VsRfifoSpec {
+    fn name(&self) -> &'static str {
+        "VS_RFIFO:SPEC"
+    }
+
+    fn observe(&mut self, entry: &TraceEntry) -> Result<(), Violation> {
+        let step = entry.step;
+        match &entry.event {
+            Event::Deliver { p: receiver, q: sender, .. } => {
+                *self.last_dlvrd.entry((*sender, *receiver)).or_insert(0) += 1;
+                Ok(())
+            }
+            Event::GcsView { p, view: v_new, .. } => {
+                let v_old = self.view_of(*p);
+                let delivered = self.delivered_cut(*p);
+                let key = (v_old.clone(), v_new.clone());
+                if let Some(agreed) = self.cut.get(&key) {
+                    // Later mover: must match the established cut exactly
+                    // (pointwise, absent entries read as 0).
+                    let senders: std::collections::BTreeSet<ProcessId> = agreed
+                        .iter()
+                        .map(|(s, _)| s)
+                        .chain(delivered.iter().map(|(s, _)| s))
+                        .collect();
+                    for s in senders {
+                        if delivered.get(s) != agreed.get(s) {
+                            return Err(Violation::at_step(
+                                "VS_RFIFO:SPEC",
+                                step,
+                                format!(
+                                    "view_{p}: moving {} -> {} with {} messages delivered \
+                                     from {s}, but the agreed cut says {} \
+                                     (Virtual Synchrony violated)",
+                                    v_old,
+                                    v_new,
+                                    delivered.get(s),
+                                    agreed.get(s)
+                                ),
+                            ));
+                        }
+                    }
+                } else {
+                    // First mover: this fixes the cut (spec's set_cut).
+                    self.cut.insert(key, delivered);
+                }
+                self.current_view.insert(*p, v_new.clone());
+                self.last_dlvrd.retain(|(_, r), _| r != p);
+                Ok(())
+            }
+            Event::Recover { p } => {
+                self.current_view.insert(*p, View::initial(*p));
+                self.last_dlvrd.retain(|(_, r), _| r != p);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsgm_ioa::{SimTime, Trace};
+    use vsgm_types::{AppMsg, StartChangeId, ViewId};
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn view12(epoch: u64) -> View {
+        View::new(
+            ViewId::new(epoch, 0),
+            [p(1), p(2)],
+            [(p(1), StartChangeId::new(epoch)), (p(2), StartChangeId::new(epoch))],
+        )
+    }
+
+    fn run(events: Vec<Event>) -> Vec<Violation> {
+        let mut trace = Trace::new();
+        for e in events {
+            trace.record(SimTime::ZERO, e);
+        }
+        let mut spec = VsRfifoSpec::new();
+        trace.entries().iter().filter_map(|e| spec.observe(e).err()).collect()
+    }
+
+    fn deliver(to: u64, from: u64, s: &str) -> Event {
+        Event::Deliver { p: p(to), q: p(from), msg: AppMsg::from(s) }
+    }
+
+    fn install(at: u64, v: &View) -> Event {
+        Event::GcsView { p: p(at), view: v.clone(), transitional: Default::default() }
+    }
+
+    #[test]
+    fn same_cut_accepted() {
+        let v1 = view12(1);
+        let v2 = view12(2);
+        let violations = run(vec![
+            install(1, &v1),
+            install(2, &v1),
+            Event::Send { p: p(1), msg: AppMsg::from("a") },
+            deliver(1, 1, "a"),
+            deliver(2, 1, "a"),
+            install(1, &v2),
+            install(2, &v2),
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn diverging_cut_rejected() {
+        let v1 = view12(1);
+        let v2 = view12(2);
+        let violations = run(vec![
+            install(1, &v1),
+            install(2, &v1),
+            Event::Send { p: p(1), msg: AppMsg::from("a") },
+            deliver(1, 1, "a"),
+            install(1, &v2), // p1 moves having delivered 1 message from p1
+            install(2, &v2), // p2 moves having delivered 0 ⇒ violation
+        ]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("Virtual Synchrony"), "{violations:?}");
+    }
+
+    #[test]
+    fn extra_delivery_before_move_rejected() {
+        let v1 = view12(1);
+        let v2 = view12(2);
+        let violations = run(vec![
+            install(1, &v1),
+            install(2, &v1),
+            Event::Send { p: p(2), msg: AppMsg::from("x") },
+            install(1, &v2), // cut fixed at 0 messages from p2
+            deliver(2, 2, "x"),
+            install(2, &v2), // p2 delivered 1 ⇒ violation
+        ]);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn movers_from_different_old_views_unconstrained() {
+        // p1 moves v1 -> v3, p2 moves v2 -> v3: different (old, new) pairs,
+        // so their delivery counts need not match.
+        let v1 = view12(1);
+        let v2 = view12(2);
+        let v3 = view12(3);
+        let violations = run(vec![
+            install(1, &v1),
+            install(2, &v2),
+            Event::Send { p: p(2), msg: AppMsg::from("x") },
+            deliver(2, 2, "x"),
+            install(1, &v3),
+            install(2, &v3),
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn cut_recorded_for_first_mover() {
+        let v1 = view12(1);
+        let v2 = view12(2);
+        let mut spec = VsRfifoSpec::new();
+        let mut trace = Trace::new();
+        for e in [
+            install(1, &v1),
+            Event::Send { p: p(1), msg: AppMsg::from("a") },
+            deliver(1, 1, "a"),
+            install(1, &v2),
+        ] {
+            trace.record(SimTime::ZERO, e);
+        }
+        for e in trace.entries() {
+            spec.observe(e).unwrap();
+        }
+        let cut = spec.recorded_cut(&v1, &v2).unwrap();
+        assert_eq!(cut.get(p(1)), 1);
+    }
+
+    #[test]
+    fn recovery_resets_view_to_initial() {
+        let v1 = view12(1);
+        let v9 = view12(9);
+        // After recovery p1's transition is initial(p1) -> v9, which has an
+        // independent cut from the (v1 -> v9) transition.
+        let violations = run(vec![
+            install(1, &v1),
+            Event::Crash { p: p(1) },
+            Event::Recover { p: p(1) },
+            install(1, &v9),
+            install(2, &v9), // p2 moves initial(p2) -> v9: also fine
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,402 @@
+//! `WV_RFIFO:SPEC` — within-view reliable FIFO multicast (Fig. 4).
+
+use std::collections::{HashMap, HashSet};
+use vsgm_ioa::{Checker, TraceEntry, Violation};
+use vsgm_types::{AppMsg, Event, ProcessId, View, ViewId};
+
+/// Checker for the within-view reliable FIFO multicast specification
+/// (Fig. 4).
+///
+/// Replays the centralized spec state:
+///
+/// * `msgs[p][v]` — the sequence of messages `p`'s application sent in
+///   view `v`;
+/// * `last_dlvrd[q][p]` — the index of the last message from `q` delivered
+///   to `p` in `p`'s current view;
+/// * `current_view[p]`.
+///
+/// and enforces on every event:
+///
+/// * `deliver_p(q, m)`: `m` is exactly message `last_dlvrd[q][p] + 1` of
+///   `msgs[q][current_view[p]]` — i.e. delivery is gap-free, FIFO, and in
+///   the view in which the message was sent;
+/// * `view_p(v)`: Self Inclusion and Local Monotonicity.
+///
+/// Crash/recovery (§8): a recovered process restarts as a fresh
+/// *incarnation* with initial state, but view-identifier monotonicity is
+/// preserved across the crash (the spec keeps the pre-crash
+/// `current_view`). Messages a fresh incarnation sends in its initial
+/// singleton view are tracked separately from pre-crash ones.
+#[derive(Debug, Default)]
+pub struct WvRfifoSpec {
+    crashed: HashSet<ProcessId>,
+    /// Incarnation counters; bumped on recovery.
+    inc: HashMap<ProcessId, u64>,
+    /// Largest view id ever delivered to `p` (survives crashes).
+    floor: HashMap<ProcessId, ViewId>,
+    current_view: HashMap<ProcessId, View>,
+    /// `msgs[(sender, incarnation, view)]`.
+    msgs: HashMap<(ProcessId, u64, View), Vec<AppMsg>>,
+    /// Which incarnation of a sender sent in a given (non-initial) view.
+    sender_inc: HashMap<(ProcessId, View), u64>,
+    /// `last_dlvrd[(sender, receiver)]`.
+    last_dlvrd: HashMap<(ProcessId, ProcessId), u64>,
+}
+
+impl WvRfifoSpec {
+    /// Creates the checker in the spec's initial state.
+    pub fn new() -> Self {
+        WvRfifoSpec::default()
+    }
+
+    fn incarnation(&self, p: ProcessId) -> u64 {
+        self.inc.get(&p).copied().unwrap_or(0)
+    }
+
+    fn view_of(&self, p: ProcessId) -> View {
+        self.current_view.get(&p).cloned().unwrap_or_else(|| View::initial(p))
+    }
+
+    fn guard_alive(&self, p: ProcessId, what: &str, step: u64) -> Result<(), Violation> {
+        if self.crashed.contains(&p) {
+            return Err(Violation::at_step(
+                "WV_RFIFO:SPEC",
+                step,
+                format!("{what} at {p} while crashed"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of messages `sender` has sent in `view` (for other checkers'
+    /// tests and the harness's metrics).
+    pub fn sent_in_view(&self, sender: ProcessId, view: &View) -> usize {
+        let inc = if view.is_initial() && view.contains(sender) {
+            self.incarnation(sender)
+        } else {
+            match self.sender_inc.get(&(sender, view.clone())) {
+                Some(i) => *i,
+                None => return 0,
+            }
+        };
+        self.msgs.get(&(sender, inc, view.clone())).map_or(0, Vec::len)
+    }
+}
+
+impl Checker for WvRfifoSpec {
+    fn name(&self) -> &'static str {
+        "WV_RFIFO:SPEC"
+    }
+
+    fn observe(&mut self, entry: &TraceEntry) -> Result<(), Violation> {
+        let step = entry.step;
+        match &entry.event {
+            Event::Send { p, msg } => {
+                self.guard_alive(*p, "send", step)?;
+                let v = self.view_of(*p);
+                let i = self.incarnation(*p);
+                // Initial singleton views are private to their owner and may
+                // be re-entered by a fresh incarnation after recovery; only
+                // shared (non-initial) views need the uniqueness tracking.
+                if !v.is_initial() {
+                    if let Some(prev) = self.sender_inc.insert((*p, v.clone()), i) {
+                        if prev != i {
+                            return Err(Violation::at_step(
+                                "WV_RFIFO:SPEC",
+                                step,
+                                format!(
+                                    "send_{p}: two incarnations of {p} sent in the same view {v}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                self.msgs.entry((*p, i, v)).or_default().push(msg.clone());
+                Ok(())
+            }
+            Event::Deliver { p: q, q: sender, msg } => {
+                self.guard_alive(*q, "deliver", step)?;
+                let v = self.view_of(*q);
+                let sender_inc = if sender == q {
+                    self.incarnation(*q)
+                } else {
+                    match self.sender_inc.get(&(*sender, v.clone())) {
+                        Some(i) => *i,
+                        None => {
+                            return Err(Violation::at_step(
+                                "WV_RFIFO:SPEC",
+                                step,
+                                format!(
+                                    "deliver_{q}({sender}, ..): {sender} sent no messages \
+                                     in {q}'s current view {v}"
+                                ),
+                            ))
+                        }
+                    }
+                };
+                let idx = self.last_dlvrd.get(&(*sender, *q)).copied().unwrap_or(0);
+                let expected = self
+                    .msgs
+                    .get(&(*sender, sender_inc, v.clone()))
+                    .and_then(|seq| seq.get(idx as usize));
+                match expected {
+                    Some(m) if m == msg => {
+                        self.last_dlvrd.insert((*sender, *q), idx + 1);
+                        Ok(())
+                    }
+                    Some(m) => Err(Violation::at_step(
+                        "WV_RFIFO:SPEC",
+                        step,
+                        format!(
+                            "deliver_{q}({sender}, {msg:?}): expected message #{} of view {v} \
+                             to be {m:?} (FIFO order violated)",
+                            idx + 1
+                        ),
+                    )),
+                    None => Err(Violation::at_step(
+                        "WV_RFIFO:SPEC",
+                        step,
+                        format!(
+                            "deliver_{q}({sender}, {msg:?}): {sender} sent only {} messages \
+                             in view {v}, cannot deliver #{}",
+                            self.msgs
+                                .get(&(*sender, sender_inc, v.clone()))
+                                .map_or(0, Vec::len),
+                            idx + 1
+                        ),
+                    )),
+                }
+            }
+            Event::GcsView { p, view, .. } => {
+                self.guard_alive(*p, "view", step)?;
+                if !view.contains(*p) {
+                    return Err(Violation::at_step(
+                        "WV_RFIFO:SPEC",
+                        step,
+                        format!("view_{p}: Self Inclusion violated, {p} not in {view}"),
+                    ));
+                }
+                let floor = self.floor.get(p).copied().unwrap_or(ViewId::ZERO);
+                if view.id() <= floor {
+                    return Err(Violation::at_step(
+                        "WV_RFIFO:SPEC",
+                        step,
+                        format!(
+                            "view_{p}: Local Monotonicity violated, {} not greater than {}",
+                            view.id(),
+                            floor
+                        ),
+                    ));
+                }
+                self.current_view.insert(*p, view.clone());
+                self.floor.insert(*p, view.id());
+                self.last_dlvrd.retain(|(_, receiver), _| receiver != p);
+                Ok(())
+            }
+            Event::Crash { p } => {
+                self.crashed.insert(*p);
+                Ok(())
+            }
+            Event::Recover { p } => {
+                self.crashed.remove(p);
+                *self.inc.entry(*p).or_insert(0) += 1;
+                self.current_view.insert(*p, View::initial(*p));
+                self.last_dlvrd.retain(|(_, receiver), _| receiver != p);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsgm_ioa::{SimTime, Trace};
+    use vsgm_types::StartChangeId;
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn view12(epoch: u64) -> View {
+        View::new(
+            ViewId::new(epoch, 0),
+            [p(1), p(2)],
+            [(p(1), StartChangeId::new(epoch)), (p(2), StartChangeId::new(epoch))],
+        )
+    }
+
+    fn run(events: Vec<Event>) -> Vec<Violation> {
+        let mut trace = Trace::new();
+        for e in events {
+            trace.record(SimTime::ZERO, e);
+        }
+        let mut spec = WvRfifoSpec::new();
+        trace
+            .entries()
+            .iter()
+            .filter_map(|e| spec.observe(e).err())
+            .collect()
+    }
+
+    fn m(s: &str) -> AppMsg {
+        AppMsg::from(s)
+    }
+
+    #[test]
+    fn fifo_delivery_within_view_accepted() {
+        let v = view12(1);
+        let violations = run(vec![
+            Event::GcsView { p: p(1), view: v.clone(), transitional: Default::default() },
+            Event::GcsView { p: p(2), view: v, transitional: Default::default() },
+            Event::Send { p: p(1), msg: m("a") },
+            Event::Send { p: p(1), msg: m("b") },
+            Event::Deliver { p: p(2), q: p(1), msg: m("a") },
+            Event::Deliver { p: p(2), q: p(1), msg: m("b") },
+            Event::Deliver { p: p(1), q: p(1), msg: m("a") },
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn out_of_order_delivery_rejected() {
+        let v = view12(1);
+        let violations = run(vec![
+            Event::GcsView { p: p(1), view: v.clone(), transitional: Default::default() },
+            Event::GcsView { p: p(2), view: v, transitional: Default::default() },
+            Event::Send { p: p(1), msg: m("a") },
+            Event::Send { p: p(1), msg: m("b") },
+            Event::Deliver { p: p(2), q: p(1), msg: m("b") },
+        ]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("FIFO order"), "{violations:?}");
+    }
+
+    #[test]
+    fn delivery_of_unsent_message_rejected() {
+        let v = view12(1);
+        let violations = run(vec![
+            Event::GcsView { p: p(1), view: v.clone(), transitional: Default::default() },
+            Event::GcsView { p: p(2), view: v, transitional: Default::default() },
+            Event::Deliver { p: p(2), q: p(1), msg: m("ghost") },
+        ]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("sent no messages"), "{violations:?}");
+    }
+
+    #[test]
+    fn cross_view_delivery_rejected() {
+        // p1 sends in view v1; p2 moves to v2 and then tries to deliver ⇒
+        // within-view delivery violated.
+        let v1 = view12(1);
+        let v2 = view12(2);
+        let violations = run(vec![
+            Event::GcsView { p: p(1), view: v1.clone(), transitional: Default::default() },
+            Event::GcsView { p: p(2), view: v1, transitional: Default::default() },
+            Event::Send { p: p(1), msg: m("a") },
+            Event::GcsView { p: p(2), view: v2, transitional: Default::default() },
+            Event::Deliver { p: p(2), q: p(1), msg: m("a") },
+        ]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("sent no messages"), "{violations:?}");
+    }
+
+    #[test]
+    fn delivery_counters_reset_on_view_change() {
+        let v1 = view12(1);
+        let v2 = view12(2);
+        let violations = run(vec![
+            Event::GcsView { p: p(1), view: v1.clone(), transitional: Default::default() },
+            Event::GcsView { p: p(2), view: v1, transitional: Default::default() },
+            Event::Send { p: p(1), msg: m("a") },
+            Event::Deliver { p: p(2), q: p(1), msg: m("a") },
+            Event::GcsView { p: p(1), view: v2.clone(), transitional: Default::default() },
+            Event::GcsView { p: p(2), view: v2, transitional: Default::default() },
+            Event::Send { p: p(1), msg: m("x") },
+            // Delivery restarts at index 1 in the new view.
+            Event::Deliver { p: p(2), q: p(1), msg: m("x") },
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn self_inclusion_enforced() {
+        let v = View::new(ViewId::new(1, 0), [p(2)], [(p(2), StartChangeId::ZERO)]);
+        let violations =
+            run(vec![Event::GcsView { p: p(1), view: v, transitional: Default::default() }]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("Self Inclusion"));
+    }
+
+    #[test]
+    fn local_monotonicity_enforced() {
+        let v2 = view12(2);
+        let v1 = view12(1);
+        let violations = run(vec![
+            Event::GcsView { p: p(1), view: v2, transitional: Default::default() },
+            Event::GcsView { p: p(1), view: v1, transitional: Default::default() },
+        ]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("Local Monotonicity"));
+    }
+
+    #[test]
+    fn events_at_crashed_process_rejected() {
+        let violations = run(vec![
+            Event::Crash { p: p(1) },
+            Event::Send { p: p(1), msg: m("a") },
+        ]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("while crashed"));
+    }
+
+    #[test]
+    fn monotonicity_preserved_across_recovery() {
+        let v5 = view12(5);
+        let v3 = view12(3);
+        let violations = run(vec![
+            Event::GcsView { p: p(1), view: v5, transitional: Default::default() },
+            Event::Crash { p: p(1) },
+            Event::Recover { p: p(1) },
+            // §8: the first view after recovery must still exceed the
+            // pre-crash view id.
+            Event::GcsView { p: p(1), view: v3, transitional: Default::default() },
+        ]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("Local Monotonicity"), "{violations:?}");
+    }
+
+    #[test]
+    fn fresh_incarnation_can_self_deliver_in_initial_view() {
+        // p1 recovers into its initial singleton view and self-delivers a
+        // newly sent message: allowed, tracked per incarnation.
+        let violations = run(vec![
+            Event::Send { p: p(1), msg: m("old") },
+            Event::Deliver { p: p(1), q: p(1), msg: m("old") },
+            Event::Crash { p: p(1) },
+            Event::Recover { p: p(1) },
+            Event::Send { p: p(1), msg: m("new") },
+            Event::Deliver { p: p(1), q: p(1), msg: m("new") },
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn sent_in_view_counts() {
+        let v = view12(1);
+        let mut trace = Trace::new();
+        trace.record(
+            SimTime::ZERO,
+            Event::GcsView { p: p(1), view: v.clone(), transitional: Default::default() },
+        );
+        trace.record(SimTime::ZERO, Event::Send { p: p(1), msg: m("a") });
+        trace.record(SimTime::ZERO, Event::Send { p: p(1), msg: m("b") });
+        let mut spec = WvRfifoSpec::new();
+        for e in trace.entries() {
+            spec.observe(e).unwrap();
+        }
+        assert_eq!(spec.sent_in_view(p(1), &v), 2);
+        assert_eq!(spec.sent_in_view(p(2), &v), 0);
+    }
+}

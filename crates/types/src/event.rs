@@ -1,0 +1,272 @@
+//! Externally observable actions of the composed system.
+//!
+//! A simulation or live run produces a global, totally ordered *trace* of
+//! [`Event`]s. The spec checkers in `vsgm-spec` replay this trace against
+//! the centralized specification automata of §3–§4 and flag any event for
+//! which no spec transition is enabled.
+
+use crate::ids::{ProcessId, StartChangeId};
+use crate::message::{AppMsg, NetMsg};
+use crate::view::View;
+use crate::ProcSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One externally observable action, tagged with the process it occurs at
+/// (the paper's subscript `p`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    // ----- membership service outputs (Fig. 2) -----
+    /// `MBRSHP.start_change_p(cid, set)`.
+    MbrshpStartChange {
+        /// Recipient end-point.
+        p: ProcessId,
+        /// Locally unique start-change identifier.
+        cid: StartChangeId,
+        /// Suggested membership of the forthcoming view.
+        set: ProcSet,
+    },
+    /// `MBRSHP.view_p(v)`.
+    MbrshpView {
+        /// Recipient end-point.
+        p: ProcessId,
+        /// The delivered membership view.
+        view: View,
+    },
+
+    // ----- GCS application interface (Figs. 4–7, 11) -----
+    /// `send_p(m)` — the application at `p` multicasts `m`.
+    Send {
+        /// Sending end-point.
+        p: ProcessId,
+        /// The multicast payload.
+        msg: AppMsg,
+    },
+    /// `deliver_p(q, m)` — `p`'s application receives `m` sent by `q`.
+    Deliver {
+        /// Receiving end-point.
+        p: ProcessId,
+        /// Original sender of the message.
+        q: ProcessId,
+        /// The delivered payload.
+        msg: AppMsg,
+    },
+    /// `view_p(v, T)` — the GCS delivers view `v` with transitional set `T`
+    /// to the application at `p`.
+    GcsView {
+        /// Receiving end-point.
+        p: ProcessId,
+        /// The installed view.
+        view: View,
+        /// The transitional set delivered with the view (Property 4.1).
+        transitional: ProcSet,
+    },
+    /// `block_p()` — the GCS asks `p`'s application to stop sending.
+    Block {
+        /// End-point issuing the block request.
+        p: ProcessId,
+    },
+    /// `block_ok_p()` — `p`'s application acknowledges the block request.
+    BlockOk {
+        /// End-point whose application acknowledged.
+        p: ProcessId,
+    },
+
+    // ----- CO_RFIFO interface (Fig. 3) -----
+    /// `CO_RFIFO.send_p(set, m)`.
+    NetSend {
+        /// Sending end-point.
+        p: ProcessId,
+        /// Destination set.
+        set: ProcSet,
+        /// The wire message.
+        msg: NetMsg,
+    },
+    /// `CO_RFIFO.deliver_{p,q}(m)` — message from `p` delivered to `q`.
+    NetDeliver {
+        /// Sender.
+        p: ProcessId,
+        /// Receiver.
+        q: ProcessId,
+        /// The wire message.
+        msg: NetMsg,
+    },
+    /// `CO_RFIFO.reliable_p(set)`.
+    Reliable {
+        /// End-point declaring its reliable connections.
+        p: ProcessId,
+        /// The set of peers to keep gap-free FIFO channels to.
+        set: ProcSet,
+    },
+    /// `CO_RFIFO.live_p(set)` — the environment declares which peers are
+    /// genuinely alive and connected to `p`.
+    Live {
+        /// Affected end-point.
+        p: ProcessId,
+        /// Its live peer set.
+        set: ProcSet,
+    },
+
+    // ----- crash / recovery (§8) -----
+    /// `crash_p()`.
+    Crash {
+        /// Crashed end-point.
+        p: ProcessId,
+    },
+    /// `recover_p()`.
+    Recover {
+        /// Recovered end-point.
+        p: ProcessId,
+    },
+}
+
+impl Event {
+    /// The process this action occurs at (the paper's subscript).
+    pub fn process(&self) -> ProcessId {
+        match *self {
+            Event::MbrshpStartChange { p, .. }
+            | Event::MbrshpView { p, .. }
+            | Event::Send { p, .. }
+            | Event::Deliver { p, .. }
+            | Event::GcsView { p, .. }
+            | Event::Block { p }
+            | Event::BlockOk { p }
+            | Event::NetSend { p, .. }
+            | Event::Reliable { p, .. }
+            | Event::Live { p, .. }
+            | Event::Crash { p }
+            | Event::Recover { p } => p,
+            Event::NetDeliver { q, .. } => q,
+        }
+    }
+
+    /// Whether this is part of the GCS ↔ application interface (the only
+    /// actions left visible after the composition of §5 hides the rest).
+    pub fn is_application_facing(&self) -> bool {
+        matches!(
+            self,
+            Event::Send { .. }
+                | Event::Deliver { .. }
+                | Event::GcsView { .. }
+                | Event::Block { .. }
+                | Event::BlockOk { .. }
+        )
+    }
+
+    /// Short action name, e.g. `"deliver"`, for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::MbrshpStartChange { .. } => "mbrshp.start_change",
+            Event::MbrshpView { .. } => "mbrshp.view",
+            Event::Send { .. } => "send",
+            Event::Deliver { .. } => "deliver",
+            Event::GcsView { .. } => "view",
+            Event::Block { .. } => "block",
+            Event::BlockOk { .. } => "block_ok",
+            Event::NetSend { .. } => "co_rfifo.send",
+            Event::NetDeliver { .. } => "co_rfifo.deliver",
+            Event::Reliable { .. } => "co_rfifo.reliable",
+            Event::Live { .. } => "co_rfifo.live",
+            Event::Crash { .. } => "crash",
+            Event::Recover { .. } => "recover",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::MbrshpStartChange { p, cid, set } => {
+                write!(f, "mbrshp.start_change_{p}({cid}, {set:?})")
+            }
+            Event::MbrshpView { p, view } => write!(f, "mbrshp.view_{p}({view})"),
+            Event::Send { p, msg } => write!(f, "send_{p}({msg:?})"),
+            Event::Deliver { p, q, msg } => write!(f, "deliver_{p}({q}, {msg:?})"),
+            Event::GcsView { p, view, transitional } => {
+                write!(f, "view_{p}({view}, T={transitional:?})")
+            }
+            Event::Block { p } => write!(f, "block_{p}()"),
+            Event::BlockOk { p } => write!(f, "block_ok_{p}()"),
+            Event::NetSend { p, set, msg } => {
+                write!(f, "co_rfifo.send_{p}({set:?}, {})", msg.tag())
+            }
+            Event::NetDeliver { p, q, msg } => {
+                write!(f, "co_rfifo.deliver_{p},{q}({})", msg.tag())
+            }
+            Event::Reliable { p, set } => write!(f, "co_rfifo.reliable_{p}({set:?})"),
+            Event::Live { p, set } => write!(f, "co_rfifo.live_{p}({set:?})"),
+            Event::Crash { p } => write!(f, "crash_{p}()"),
+            Event::Recover { p } => write!(f, "recover_{p}()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn process_extraction() {
+        let e = Event::Send { p: p(4), msg: AppMsg::from("x") };
+        assert_eq!(e.process(), p(4));
+        let d = Event::NetDeliver { p: p(1), q: p(2), msg: NetMsg::App(AppMsg::from("x")) };
+        // NetDeliver occurs at the *receiver*.
+        assert_eq!(d.process(), p(2));
+    }
+
+    #[test]
+    fn application_facing_classification() {
+        assert!(Event::Block { p: p(1) }.is_application_facing());
+        assert!(!Event::Live { p: p(1), set: ProcSet::new() }.is_application_facing());
+        assert!(!Event::MbrshpView { p: p(1), view: View::initial(p(1)) }.is_application_facing());
+    }
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(Event::Crash { p: p(1) }.kind(), "crash");
+        assert_eq!(
+            Event::MbrshpStartChange { p: p(1), cid: StartChangeId::ZERO, set: ProcSet::new() }
+                .kind(),
+            "mbrshp.start_change"
+        );
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let v = View::initial(p(1));
+        let events = vec![
+            Event::MbrshpStartChange { p: p(1), cid: StartChangeId::ZERO, set: ProcSet::new() },
+            Event::MbrshpView { p: p(1), view: v.clone() },
+            Event::Send { p: p(1), msg: AppMsg::from("m") },
+            Event::Deliver { p: p(1), q: p(2), msg: AppMsg::from("m") },
+            Event::GcsView { p: p(1), view: v.clone(), transitional: ProcSet::new() },
+            Event::Block { p: p(1) },
+            Event::BlockOk { p: p(1) },
+            Event::NetSend { p: p(1), set: ProcSet::new(), msg: NetMsg::ViewMsg(v.clone()) },
+            Event::NetDeliver { p: p(1), q: p(2), msg: NetMsg::ViewMsg(v) },
+            Event::Reliable { p: p(1), set: ProcSet::new() },
+            Event::Live { p: p(1), set: ProcSet::new() },
+            Event::Crash { p: p(1) },
+            Event::Recover { p: p(1) },
+        ];
+        for e in events {
+            assert!(!e.to_string().is_empty());
+            assert!(!e.kind().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Event::GcsView {
+            p: p(1),
+            view: View::initial(p(1)),
+            transitional: [p(1)].into_iter().collect(),
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<Event>(&s).unwrap(), e);
+    }
+}

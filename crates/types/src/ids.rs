@@ -1,0 +1,203 @@
+//! Identifier newtypes: processes, views, and start-change ids.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a process / GCS end-point (the paper's `Proc`).
+///
+/// Process identifiers are totally ordered; the paper's deterministic
+/// `min` selection in the min-copy forwarding strategy (§5.2.2) relies on
+/// this order.
+///
+/// ```
+/// use vsgm_types::ProcessId;
+/// let a = ProcessId::new(3);
+/// let b = ProcessId::new(7);
+/// assert!(a < b);
+/// assert_eq!(a.to_string(), "p3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ProcessId(u64);
+
+impl ProcessId {
+    /// Creates a process id from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        ProcessId(raw)
+    }
+
+    /// Returns the raw integer identity.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u64> for ProcessId {
+    fn from(raw: u64) -> Self {
+        ProcessId(raw)
+    }
+}
+
+/// A view identifier (the paper's `ViewId`, smallest element `vid₀`).
+///
+/// The paper only requires a partial order; we use a total order on a pair
+/// `(epoch, proposer)` so that views formed concurrently by different
+/// membership servers in different partitions still get distinct,
+/// comparable identifiers and *Local Monotonicity* (Fig. 2) can be enforced
+/// with a plain `>` comparison.
+///
+/// ```
+/// use vsgm_types::ViewId;
+/// let v1 = ViewId::new(1, 0);
+/// let v2 = ViewId::new(2, 0);
+/// assert!(ViewId::ZERO < v1 && v1 < v2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ViewId {
+    /// Monotone epoch counter (major component).
+    pub epoch: u64,
+    /// Tie-breaker identifying the proposer of the view (minor component).
+    pub proposer: u64,
+}
+
+impl ViewId {
+    /// The smallest view identifier, the paper's `vid₀`; identifies every
+    /// process's initial singleton view.
+    pub const ZERO: ViewId = ViewId { epoch: 0, proposer: 0 };
+
+    /// Creates a view identifier from an epoch and a proposer tie-breaker.
+    pub const fn new(epoch: u64, proposer: u64) -> Self {
+        ViewId { epoch, proposer }
+    }
+
+    /// The successor identifier proposed by `proposer`: epoch is bumped,
+    /// so the result is strictly greater than `self` regardless of the
+    /// proposer component.
+    #[must_use]
+    pub const fn successor(self, proposer: u64) -> Self {
+        ViewId { epoch: self.epoch + 1, proposer }
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}.{}", self.epoch, self.proposer)
+    }
+}
+
+/// A start-change identifier (the paper's `StartChangeId`).
+///
+/// Start-change identifiers are *locally* unique and increasing per
+/// end-point (§3.1); they are **not** globally agreed upon — that is the
+/// paper's central trick. The smallest element is [`StartChangeId::ZERO`]
+/// (`cid₀`), carried by every initial view.
+///
+/// ```
+/// use vsgm_types::StartChangeId;
+/// let c = StartChangeId::ZERO.next();
+/// assert!(c > StartChangeId::ZERO);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct StartChangeId(u64);
+
+impl StartChangeId {
+    /// The smallest start-change identifier, the paper's `cid₀`.
+    pub const ZERO: StartChangeId = StartChangeId(0);
+
+    /// Creates a start-change identifier from a raw counter value.
+    pub const fn new(raw: u64) -> Self {
+        StartChangeId(raw)
+    }
+
+    /// Returns the raw counter value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next (strictly larger) identifier.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        StartChangeId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for StartChangeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip_and_order() {
+        let a = ProcessId::new(1);
+        let b = ProcessId::from(2);
+        assert!(a < b);
+        assert_eq!(a.raw(), 1);
+        assert_eq!(format!("{a}"), "p1");
+    }
+
+    #[test]
+    fn view_id_zero_is_smallest() {
+        assert!(ViewId::ZERO <= ViewId::new(0, 0));
+        assert!(ViewId::ZERO < ViewId::new(0, 1));
+        assert!(ViewId::ZERO < ViewId::new(1, 0));
+    }
+
+    #[test]
+    fn view_id_successor_strictly_larger_any_proposer() {
+        let v = ViewId::new(5, 9);
+        assert!(v.successor(0) > v);
+        assert!(v.successor(100) > v);
+        assert_eq!(v.successor(3).epoch, 6);
+    }
+
+    #[test]
+    fn view_id_order_is_lexicographic() {
+        assert!(ViewId::new(1, 5) < ViewId::new(2, 0));
+        assert!(ViewId::new(2, 0) < ViewId::new(2, 1));
+    }
+
+    #[test]
+    fn start_change_id_next_is_monotone() {
+        let mut c = StartChangeId::ZERO;
+        for _ in 0..10 {
+            let n = c.next();
+            assert!(n > c);
+            c = n;
+        }
+        assert_eq!(c.raw(), 10);
+    }
+
+    #[test]
+    fn ids_serde_roundtrip() {
+        let v = ViewId::new(3, 2);
+        let s = serde_json::to_string(&v).unwrap();
+        assert_eq!(serde_json::from_str::<ViewId>(&s).unwrap(), v);
+        let c = StartChangeId::new(7);
+        let s = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<StartChangeId>(&s).unwrap(), c);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ViewId::new(2, 1).to_string(), "v2.1");
+        assert_eq!(StartChangeId::new(4).to_string(), "c4");
+    }
+}

@@ -1,0 +1,271 @@
+//! Fine-grained schedule exploration.
+//!
+//! The deterministic harness fires each endpoint's actions in canonical
+//! order; here we drive the composed system one *randomly chosen* enabled
+//! action at a time — endpoint transitions interleaved with per-channel
+//! network deliveries in arbitrary orders — and replay every resulting
+//! trace against the safety specs. This is the executable analogue of
+//! quantifying over all fair executions in the paper's proofs.
+
+use std::collections::{BTreeMap, VecDeque};
+use vsgm_core::{Config, Effect, Endpoint, Input};
+use vsgm_ioa::{Automaton, CheckSet, SimRng, SimTime, Trace};
+use vsgm_types::{AppMsg, Event, NetMsg, ProcSet, ProcessId, StartChangeId, View, ViewId};
+
+struct Composition {
+    eps: BTreeMap<ProcessId, Endpoint>,
+    channels: BTreeMap<(ProcessId, ProcessId), VecDeque<NetMsg>>,
+    trace: Trace,
+    rng: SimRng,
+}
+
+impl Composition {
+    fn new(n: u64, seed: u64) -> Self {
+        Composition {
+            eps: (1..=n)
+                .map(|i| (ProcessId::new(i), Endpoint::new(ProcessId::new(i), Config::default())))
+                .collect(),
+            channels: BTreeMap::new(),
+            trace: Trace::new(),
+            rng: SimRng::new(seed),
+        }
+    }
+
+    fn record(&mut self, e: Event) {
+        self.trace.record(SimTime::ZERO, e);
+    }
+
+    fn route(&mut self, from: ProcessId, effects: Vec<Effect>) {
+        for eff in effects {
+            match eff {
+                Effect::NetSend { to, msg } => {
+                    self.record(Event::NetSend { p: from, set: to.clone(), msg: msg.clone() });
+                    for dest in to {
+                        if dest != from {
+                            self.channels.entry((from, dest)).or_default().push_back(msg.clone());
+                        }
+                    }
+                }
+                Effect::SetReliable(set) => self.record(Event::Reliable { p: from, set }),
+                Effect::DeliverApp { from: sender, msg } => {
+                    self.record(Event::Deliver { p: from, q: sender, msg });
+                }
+                Effect::InstallView { view, transitional } => {
+                    self.record(Event::GcsView { p: from, view, transitional });
+                }
+                Effect::Block => {
+                    self.record(Event::Block { p: from });
+                    self.record(Event::BlockOk { p: from });
+                    let more = self.eps.get_mut(&from).unwrap().handle(Input::BlockOk);
+                    self.route(from, more);
+                }
+            }
+        }
+    }
+
+    fn input(&mut self, p: ProcessId, event: Event, input: Input) {
+        self.record(event);
+        let effects = self.eps.get_mut(&p).unwrap().handle(input);
+        self.route(p, effects);
+    }
+
+    /// Fires one randomly chosen enabled step (an endpoint action or a
+    /// channel-head delivery). Returns false when fully quiescent.
+    fn random_step(&mut self) -> bool {
+        // Enumerate choices: (endpoint, action index) and nonempty channels.
+        let mut choices: Vec<(u8, ProcessId, ProcessId, usize)> = Vec::new();
+        for (p, ep) in &self.eps {
+            for i in 0..ep.enabled_actions().len() {
+                choices.push((0, *p, *p, i));
+            }
+        }
+        for ((from, to), chan) in &self.channels {
+            if !chan.is_empty() {
+                choices.push((1, *from, *to, 0));
+            }
+        }
+        if choices.is_empty() {
+            return false;
+        }
+        let (kind, a, b, idx) = choices[self.rng.index(choices.len())];
+        match kind {
+            0 => {
+                let ep = self.eps.get_mut(&a).unwrap();
+                let actions = ep.enabled_actions();
+                // The set may have changed? No inputs occurred since
+                // enumeration, so it is stable.
+                let action = actions[idx].clone();
+                let effects = ep.fire(&action);
+                self.route(a, effects);
+            }
+            _ => {
+                let msg = self.channels.get_mut(&(a, b)).unwrap().pop_front().unwrap();
+                self.record(Event::NetDeliver { p: a, q: b, msg: msg.clone() });
+                let effects = self.eps.get_mut(&b).unwrap().handle(Input::Net { from: a, msg });
+                self.route(b, effects);
+            }
+        }
+        true
+    }
+
+    fn run_random(&mut self, max_steps: usize) {
+        for _ in 0..max_steps {
+            if !self.random_step() {
+                return;
+            }
+        }
+        panic!("composition did not quiesce within {max_steps} steps");
+    }
+
+    fn membership(&mut self, members: &[u64], epoch: u64, cid: u64) -> View {
+        let set: ProcSet = members.iter().map(|&i| ProcessId::new(i)).collect();
+        for &m in members {
+            let p = ProcessId::new(m);
+            self.input(
+                p,
+                Event::MbrshpStartChange { p, cid: StartChangeId::new(cid), set: set.clone() },
+                Input::StartChange { cid: StartChangeId::new(cid), set: set.clone() },
+            );
+            // Random interleaving between notifications too.
+            for _ in 0..self.rng.range(0, 5) {
+                self.random_step();
+            }
+        }
+        let view = View::new(
+            ViewId::new(epoch, 0),
+            set.iter().copied(),
+            set.iter().map(|m| (*m, StartChangeId::new(cid))),
+        );
+        for &m in members {
+            let p = ProcessId::new(m);
+            self.input(
+                p,
+                Event::MbrshpView { p, view: view.clone() },
+                Input::MbrshpView(view.clone()),
+            );
+            for _ in 0..self.rng.range(0, 5) {
+                self.random_step();
+            }
+        }
+        view
+    }
+
+    fn send(&mut self, i: u64, text: &str) {
+        let p = ProcessId::new(i);
+        // Only send when the client would be allowed to (not blocked):
+        // approximate by skipping while a change with an acked block is
+        // pending — the CLIENT spec checker would flag a blocked send.
+        self.input(
+            p,
+            Event::Send { p, msg: AppMsg::from(text) },
+            Input::AppSend(AppMsg::from(text)),
+        );
+    }
+}
+
+fn explore(seed: u64) {
+    let mut comp = Composition::new(3, seed);
+    comp.membership(&[1, 2, 3], 1, 1);
+    comp.run_random(100_000);
+    comp.send(1, "a1");
+    comp.send(2, "b1");
+    comp.run_random(100_000);
+    comp.membership(&[1, 2], 2, 2);
+    comp.run_random(100_000);
+    comp.send(2, "b2");
+    comp.run_random(100_000);
+
+    // Validate the trace against every safety spec except CLIENT (sends
+    // here are injected without consulting a blocking client, so the
+    // block discipline is exercised by the other suites).
+    let mut checks = CheckSet::new();
+    checks.add(vsgm_spec::MbrshpSpec::new());
+    checks.add(vsgm_spec::CoRfifoSpec::new());
+    checks.add(vsgm_spec::WvRfifoSpec::new());
+    checks.add(vsgm_spec::VsRfifoSpec::new());
+    checks.add(vsgm_spec::TransSetSpec::new());
+    checks.run(comp.trace.entries());
+    assert!(
+        checks.is_clean(),
+        "seed {seed}: {:?}\ntrace tail: {:#?}",
+        checks.violations(),
+        comp.trace.entries().iter().rev().take(15).collect::<Vec<_>>()
+    );
+
+    // Fairness sanity: with the full drain, the final view installed at
+    // both survivors.
+    for i in [1u64, 2] {
+        let p = ProcessId::new(i);
+        let installed = comp
+            .trace
+            .entries()
+            .iter()
+            .any(|e| matches!(&e.event, Event::GcsView { p: q, view, .. }
+                              if *q == p && view.id() == ViewId::new(2, 0)));
+        assert!(installed, "seed {seed}: p{i} never installed the final view");
+    }
+}
+
+#[test]
+fn random_interleavings_satisfy_specs() {
+    for seed in 0..50 {
+        explore(seed);
+    }
+}
+
+#[test]
+fn deeper_exploration_with_more_seeds() {
+    for seed in 1000..1080 {
+        explore(seed);
+    }
+}
+
+/// Exploration with a crash injected at a random point of the
+/// reconfiguration: the survivors must still converge under arbitrary
+/// interleavings, with the crashed process's channels wiped (§8).
+fn explore_with_crash(seed: u64) {
+    let mut comp = Composition::new(3, seed);
+    comp.membership(&[1, 2, 3], 1, 1);
+    comp.run_random(100_000);
+    comp.send(1, "pre-crash");
+    // Random partial progress, then p3 crashes.
+    for _ in 0..comp.rng.range(0, 40) {
+        comp.random_step();
+    }
+    let victim = ProcessId::new(3);
+    comp.record(Event::Crash { p: victim });
+    comp.eps.get_mut(&victim).unwrap().handle(Input::Crash);
+    // §8: the crash wipes the victim's outgoing channels.
+    for ((from, _), chan) in comp.channels.iter_mut() {
+        if *from == victim {
+            chan.clear();
+        }
+    }
+    comp.membership(&[1, 2], 2, 2);
+    comp.run_random(100_000);
+    comp.send(2, "post-crash");
+    comp.run_random(100_000);
+
+    let mut checks = CheckSet::new();
+    checks.add(vsgm_spec::MbrshpSpec::new());
+    checks.add(vsgm_spec::WvRfifoSpec::new());
+    checks.add(vsgm_spec::VsRfifoSpec::new());
+    checks.add(vsgm_spec::TransSetSpec::new());
+    checks.run(comp.trace.entries());
+    assert!(checks.is_clean(), "seed {seed}: {:?}", checks.violations());
+    for i in [1u64, 2] {
+        let p = ProcessId::new(i);
+        let installed = comp.trace.entries().iter().any(|e| {
+            matches!(&e.event, Event::GcsView { p: q, view, .. }
+                     if *q == p && view.id() == ViewId::new(2, 0))
+        });
+        assert!(installed, "seed {seed}: p{i} never installed the survivor view");
+    }
+}
+
+#[test]
+fn crash_interleavings_satisfy_specs() {
+    for seed in 5000..5060 {
+        explore_with_crash(seed);
+    }
+}

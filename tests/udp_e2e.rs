@@ -1,0 +1,164 @@
+//! The paper's deployment stack, end to end: GCS end-points over the
+//! reliable datagram service ([36]-style, UDP + seq/ack/retransmit),
+//! including under injected datagram loss.
+
+use std::time::{Duration, Instant};
+use vsgm_core::node::AppEvent;
+use vsgm_core::{Config, Endpoint, Input, Node};
+use vsgm_net::{Transport, UdpTransport};
+use vsgm_types::{AppMsg, ProcSet, ProcessId, StartChangeId, View, ViewId};
+
+fn p(i: u64) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn cluster(n: u64, loss: f64) -> Vec<Node<UdpTransport>> {
+    let transports: Vec<UdpTransport> =
+        (1..=n).map(|i| UdpTransport::bind(p(i), "127.0.0.1:0").expect("bind")).collect();
+    let addrs: Vec<_> = transports.iter().map(|t| t.local_addr()).collect();
+    for (k, t) in transports.iter().enumerate() {
+        t.set_loss(loss, 100 + k as u64);
+        for i in 1..=n {
+            if p(i) != t.me() {
+                t.register_peer(p(i), addrs[(i - 1) as usize]);
+            }
+        }
+    }
+    transports
+        .into_iter()
+        .map(|t| {
+            let me = t.me();
+            Node::new(Endpoint::new(me, Config::default()), t)
+        })
+        .collect()
+}
+
+fn run_view_and_burst(loss: f64, burst: usize, budget: Duration) {
+    let mut nodes = cluster(3, loss);
+    let members: ProcSet = (1..=3).map(p).collect();
+    let view = View::new(
+        ViewId::new(1, 0),
+        members.iter().copied(),
+        members.iter().map(|&m| (m, StartChangeId::new(1))),
+    );
+    let mut events: Vec<(ProcessId, AppEvent)> = Vec::new();
+    for n in nodes.iter_mut() {
+        let me = n.endpoint().pid();
+        for e in n
+            .membership(Input::StartChange { cid: StartChangeId::new(1), set: members.clone() })
+            .unwrap()
+        {
+            events.push((me, e));
+        }
+        for e in n.membership(Input::MbrshpView(view.clone())).unwrap() {
+            events.push((me, e));
+        }
+    }
+    let deadline = Instant::now() + budget;
+    // Install the view everywhere.
+    while events.iter().filter(|(_, e)| matches!(e, AppEvent::View { .. })).count() < 3 {
+        assert!(Instant::now() < deadline, "views never installed; saw {events:?}");
+        for n in nodes.iter_mut() {
+            let me = n.endpoint().pid();
+            for e in n.pump(Duration::from_millis(5)).unwrap() {
+                events.push((me, e));
+            }
+        }
+    }
+    // Burst from p1; everyone must deliver all of it, in order.
+    for k in 0..burst {
+        let me = nodes[0].endpoint().pid();
+        for e in nodes[0].send(AppMsg::from(format!("m{k}").as_str())).unwrap() {
+            events.push((me, e));
+        }
+    }
+    let want = burst * 3;
+    while events.iter().filter(|(_, e)| matches!(e, AppEvent::Delivered { .. })).count() < want {
+        assert!(
+            Instant::now() < deadline,
+            "deliveries incomplete: {}/{want}",
+            events.iter().filter(|(_, e)| matches!(e, AppEvent::Delivered { .. })).count()
+        );
+        for n in nodes.iter_mut() {
+            let me = n.endpoint().pid();
+            for e in n.pump(Duration::from_millis(5)).unwrap() {
+                events.push((me, e));
+            }
+        }
+    }
+    for i in 1..=3u64 {
+        let got: Vec<String> = events
+            .iter()
+            .filter_map(|(to, e)| match e {
+                AppEvent::Delivered { from, msg } if *to == p(i) && *from == p(1) => {
+                    Some(String::from_utf8_lossy(msg.as_bytes()).into_owned())
+                }
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<String> = (0..burst).map(|k| format!("m{k}")).collect();
+        assert_eq!(got, expected, "receiver p{i} out of order");
+    }
+}
+
+#[test]
+fn gcs_over_udp_lossless() {
+    run_view_and_burst(0.0, 20, Duration::from_secs(20));
+}
+
+#[test]
+fn gcs_over_udp_with_datagram_loss() {
+    // 15% loss on every node's outbound datagrams: the [36]-style
+    // reliability layer must mask it completely — same FIFO guarantees,
+    // same view change, just slower.
+    run_view_and_burst(0.15, 15, Duration::from_secs(40));
+}
+
+#[test]
+fn view_change_completes_under_loss() {
+    let mut nodes = cluster(2, 0.2);
+    let members: ProcSet = (1..=2).map(p).collect();
+    let mut events: Vec<(ProcessId, AppEvent)> = Vec::new();
+    for epoch in 1..=3u64 {
+        let view = View::new(
+            ViewId::new(epoch, 0),
+            members.iter().copied(),
+            members.iter().map(|&m| (m, StartChangeId::new(epoch))),
+        );
+        for n in nodes.iter_mut() {
+            let me = n.endpoint().pid();
+            for e in n
+                .membership(Input::StartChange {
+                    cid: StartChangeId::new(epoch),
+                    set: members.clone(),
+                })
+                .unwrap()
+            {
+                events.push((me, e));
+            }
+            for e in n.membership(Input::MbrshpView(view.clone())).unwrap() {
+                events.push((me, e));
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let want = 2 * epoch as usize;
+        while events.iter().filter(|(_, e)| matches!(e, AppEvent::View { .. })).count() < want {
+            assert!(Instant::now() < deadline, "epoch {epoch} views never installed");
+            for n in nodes.iter_mut() {
+                let me = n.endpoint().pid();
+                for e in n.pump(Duration::from_millis(5)).unwrap() {
+                    events.push((me, e));
+                }
+            }
+        }
+    }
+    // All views installed with the right transitional sets.
+    let full: ProcSet = members.clone();
+    for (who, e) in &events {
+        if let AppEvent::View { view, transitional } = e {
+            if view.id().epoch > 1 {
+                assert_eq!(transitional, &full, "T at {who} for {view}");
+            }
+        }
+    }
+}
