@@ -8,8 +8,33 @@ use vsgm_harness::experiments;
 use vsgm_net::TcpTransport;
 use vsgm_types::{AppMsg, ProcSet, ProcessId, StartChangeId, View, ViewId};
 
+/// With `VSGM_OBS_SNAPSHOT=<dir>` set, re-runs an instrumented 4-process
+/// steady-state multicast burst and writes the observability snapshot
+/// (delivery-latency histogram, per-tag traffic) to
+/// `<dir>/throughput.json`.
+fn dump_obs_snapshot() {
+    let Ok(dir) = std::env::var("VSGM_OBS_SNAPSHOT") else { return };
+    use vsgm_harness::sim::procs;
+    use vsgm_harness::{Sim, SimOptions};
+    let mut sim = Sim::new_paper(4, Config::default(), SimOptions::default());
+    sim.enable_obs();
+    sim.reconfigure(&procs(4));
+    for k in 0..20u64 {
+        for i in 1..=4u64 {
+            sim.send(ProcessId::new(i), AppMsg::from(format!("m{i}.{k}").as_str()));
+        }
+        sim.run_to_quiescence();
+    }
+    let snap = vsgm_obs::Snapshot::capture(&sim.take_obs().expect("obs on"));
+    let path = std::path::Path::new(&dir).join("throughput.json");
+    std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, snap.to_json_pretty()))
+        .unwrap_or_else(|e| eprintln!("VSGM_OBS_SNAPSHOT: cannot write {}: {e}", path.display()));
+    println!("obs snapshot written to {}", path.display());
+}
+
 fn sim_bench(c: &mut Criterion) {
     println!("{}", experiments::e5_throughput(&[2, 4, 8, 16], 20).render());
+    dump_obs_snapshot();
     let mut g = c.benchmark_group("E5_throughput_sim");
     g.sample_size(10);
     for n in [4usize, 8] {

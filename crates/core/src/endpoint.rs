@@ -5,6 +5,7 @@ use crate::forward::ForwardCmd;
 use crate::state::{State, SyncRecord};
 use crate::{sd, vs, wv};
 use vsgm_ioa::Automaton;
+use vsgm_obs::{names, NoopRecorder, ObsEvent, Recorder};
 use vsgm_types::{
     AppMsg, FwdPayload, NetMsg, ProcSet, ProcessId, StartChangeId, SyncPayload, View,
 };
@@ -104,6 +105,18 @@ pub trait GroupEndpoint {
     fn handle(&mut self, input: Input) -> Vec<Effect>;
     /// Fires every enabled locally controlled action until quiescence.
     fn poll(&mut self) -> Vec<Effect>;
+    /// [`GroupEndpoint::handle`] with an observability [`Recorder`].
+    /// The default ignores the recorder, so un-instrumented end-points
+    /// (e.g. comparison baselines) keep working unchanged.
+    fn handle_rec(&mut self, input: Input, rec: &mut dyn Recorder) -> Vec<Effect> {
+        let _ = rec;
+        self.handle(input)
+    }
+    /// [`GroupEndpoint::poll`] with an observability [`Recorder`].
+    fn poll_rec(&mut self, rec: &mut dyn Recorder) -> Vec<Effect> {
+        let _ = rec;
+        self.poll()
+    }
     /// The view last delivered to the application.
     fn current_view(&self) -> &View;
     /// Whether a view change is in progress.
@@ -121,6 +134,12 @@ impl GroupEndpoint for Endpoint {
     }
     fn poll(&mut self) -> Vec<Effect> {
         Endpoint::poll(self)
+    }
+    fn handle_rec(&mut self, input: Input, rec: &mut dyn Recorder) -> Vec<Effect> {
+        Endpoint::handle_rec(self, input, rec)
+    }
+    fn poll_rec(&mut self, rec: &mut dyn Recorder) -> Vec<Effect> {
+        Endpoint::poll_rec(self, rec)
     }
     fn current_view(&self) -> &View {
         Endpoint::current_view(self)
@@ -150,6 +169,24 @@ pub struct EndpointStats {
     pub forwards_sent: u64,
     /// Block requests issued to the application.
     pub blocks: u64,
+}
+
+impl EndpointStats {
+    /// Rebuilds the counters from an observability registry filled by the
+    /// instrumented end-point hooks ([`Endpoint::handle_rec`] /
+    /// [`Endpoint::poll_rec`]). The registry aggregates across every
+    /// end-point that reported into it, so this is the *group-wide* view;
+    /// per-end-point numbers remain available via [`Endpoint::stats`].
+    pub fn from_registry(reg: &vsgm_obs::Registry) -> EndpointStats {
+        EndpointStats {
+            views_installed: reg.counter(names::EP_VIEWS_INSTALLED),
+            msgs_sent: reg.counter(names::EP_MSGS_SENT),
+            msgs_delivered: reg.counter(names::EP_MSGS_DELIVERED),
+            syncs_sent: reg.counter(names::EP_SYNCS_SENT),
+            forwards_sent: reg.counter(names::EP_FORWARDS_SENT),
+            blocks: reg.counter(names::EP_BLOCKS),
+        }
+    }
 }
 
 /// A GCS end-point: the executable `GCS_p` automaton (or a configured
@@ -223,10 +260,18 @@ impl Endpoint {
     /// §9 aggregation relay produces effects from inputs; everything else
     /// surfaces through the locally controlled actions).
     pub fn handle(&mut self, input: Input) -> Vec<Effect> {
+        self.handle_rec(input, &mut NoopRecorder)
+    }
+
+    /// [`Endpoint::handle`] with an observability [`Recorder`]: journals
+    /// protocol events (start_change receipt, sync receipt, block_ok,
+    /// recovery reset) as they are processed.
+    pub fn handle_rec(&mut self, input: Input, rec: &mut dyn Recorder) -> Vec<Effect> {
         if self.st.crashed {
             if input == Input::Recover {
                 self.st.reset();
                 self.stats = EndpointStats::default();
+                rec.event(self.st.pid, None, ObsEvent::RecoveryReset);
             }
             return Vec::new(); // §8: input effects disabled while crashed
         }
@@ -236,12 +281,14 @@ impl Endpoint {
                 Vec::new()
             }
             Input::BlockOk => {
+                rec.event(self.st.pid, self.current_cid(), ObsEvent::BlockOk);
                 if self.cfg.stack.has_sd() {
                     sd::on_block_ok(&mut self.st);
                 }
                 Vec::new()
             }
             Input::StartChange { cid, set } => {
+                rec.event(self.st.pid, Some(cid), ObsEvent::StartChangeRecv);
                 if self.cfg.stack.has_vs() {
                     vs::on_start_change(&mut self.st, cid, set);
                 }
@@ -251,7 +298,7 @@ impl Endpoint {
                 wv::on_mbrshp_view(&mut self.st, v);
                 Vec::new()
             }
-            Input::Net { from, msg } => self.handle_net(from, msg),
+            Input::Net { from, msg } => self.handle_net(from, msg, rec),
             Input::Crash => {
                 self.st.crashed = true;
                 Vec::new()
@@ -260,7 +307,13 @@ impl Endpoint {
         }
     }
 
-    fn handle_net(&mut self, from: ProcessId, msg: NetMsg) -> Vec<Effect> {
+    /// The local start-change id of the view change in progress — the
+    /// span key under which observability events are journaled.
+    fn current_cid(&self) -> Option<StartChangeId> {
+        self.st.start_change.as_ref().map(|(cid, _)| *cid)
+    }
+
+    fn handle_net(&mut self, from: ProcessId, msg: NetMsg, rec: &mut dyn Recorder) -> Vec<Effect> {
         match msg {
             NetMsg::ViewMsg(v) => {
                 wv::on_view_msg(&mut self.st, from, v);
@@ -278,8 +331,9 @@ impl Endpoint {
                 if !self.cfg.stack.has_vs() {
                     return Vec::new();
                 }
-                let rec = vs::on_sync(&mut self.st, from, &payload);
-                self.maybe_relay_as_leader(from, payload.cid, rec)
+                rec.event(self.st.pid, self.current_cid(), ObsEvent::SyncRecv);
+                let srec = vs::on_sync(&mut self.st, from, &payload);
+                self.maybe_relay_as_leader(from, payload.cid, srec)
             }
             NetMsg::SyncAgg(entries) => {
                 if !self.cfg.stack.has_vs() {
@@ -287,6 +341,7 @@ impl Endpoint {
                 }
                 for (sender, payload) in entries {
                     if sender != self.st.pid {
+                        rec.event(self.st.pid, self.current_cid(), ObsEvent::SyncRecv);
                         vs::on_sync(&mut self.st, sender, &payload);
                     }
                 }
@@ -379,12 +434,23 @@ impl Endpoint {
     /// Panics if the end-point fails to quiesce within a large internal
     /// step bound (indicates a livelock bug).
     pub fn poll(&mut self) -> Vec<Effect> {
+        self.poll_rec(&mut NoopRecorder)
+    }
+
+    /// [`Endpoint::poll`] with an observability [`Recorder`]: journals
+    /// sync sends, blocks, message sends/deliveries, forwards, cut
+    /// agreement, and view installs as the actions fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same livelock bound as [`Endpoint::poll`].
+    pub fn poll_rec(&mut self, rec: &mut dyn Recorder) -> Vec<Effect> {
         let mut effects = Vec::new();
         let mut steps = 0usize;
         loop {
             let actions = self.enabled_actions();
             let Some(action) = actions.first().cloned() else { return effects };
-            effects.extend(self.fire(&action));
+            effects.extend(self.fire_rec(&action, rec));
             steps += 1;
             assert!(steps < 1_000_000, "endpoint livelock: {action:?} keeps firing");
         }
@@ -438,6 +504,14 @@ impl Automaton for Endpoint {
     }
 
     fn fire(&mut self, action: &Action) -> Vec<Effect> {
+        self.fire_rec(action, &mut NoopRecorder)
+    }
+}
+
+impl Endpoint {
+    /// Fires one locally controlled action with an observability
+    /// [`Recorder`] — the instrumented body behind [`Automaton::fire`].
+    fn fire_rec(&mut self, action: &Action, rec: &mut dyn Recorder) -> Vec<Effect> {
         debug_assert!(!self.st.crashed, "fire while crashed");
         match action {
             Action::SetReliable => {
@@ -455,6 +529,8 @@ impl Automaton for Endpoint {
             }
             Action::SendSyncMsg => {
                 self.stats.syncs_sent += 1;
+                rec.counter(names::EP_SYNCS_SENT, 1);
+                rec.event(self.st.pid, self.current_cid(), ObsEvent::SyncSent);
                 let plan = vs::send_sync_eff(
                     &mut self.st,
                     self.cfg.slim_sync,
@@ -473,6 +549,8 @@ impl Automaton for Endpoint {
             }
             Action::Block => {
                 self.stats.blocks += 1;
+                rec.counter(names::EP_BLOCKS, 1);
+                rec.event(self.st.pid, self.current_cid(), ObsEvent::BlockRequested);
                 sd::block_eff(&mut self.st);
                 vec![Effect::Block]
             }
@@ -504,6 +582,8 @@ impl Automaton for Endpoint {
             }
             Action::SendAppMsg => {
                 self.stats.msgs_sent += 1;
+                rec.counter(names::EP_MSGS_SENT, 1);
+                rec.event(self.st.pid, None, ObsEvent::MsgSent);
                 let (set, msg) = wv::send_app_msg_eff(&mut self.st);
                 if set.is_empty() {
                     Vec::new()
@@ -513,12 +593,23 @@ impl Automaton for Endpoint {
             }
             Action::DeliverApp(q) => {
                 self.stats.msgs_delivered += 1;
+                rec.counter(names::EP_MSGS_DELIVERED, 1);
+                rec.event(self.st.pid, None, ObsEvent::MsgDelivered);
                 let m = wv::deliver_pre(&self.st, *q).expect("fire called while enabled");
                 wv::deliver_eff(&mut self.st, *q);
                 vec![Effect::DeliverApp { from: *q, msg: m }]
             }
             Action::DeliverView => {
                 self.stats.views_installed += 1;
+                rec.counter(names::EP_VIEWS_INSTALLED, 1);
+                // The span being closed is the view change in progress;
+                // under cascades this is the latest local start-change id,
+                // leaving the superseded spans open (observably obsolete).
+                let span_cid = self.current_cid();
+                if self.cfg.stack.has_vs() && span_cid.is_some() {
+                    rec.event(self.st.pid, span_cid, ObsEvent::CutAgreed);
+                }
+                rec.event(self.st.pid, span_cid, ObsEvent::ViewInstalled);
                 let t = self.view_enabled().expect("fire called while enabled");
                 let previous = self.st.current_view.clone();
                 wv::view_eff(&mut self.st);
@@ -538,6 +629,8 @@ impl Automaton for Endpoint {
             }
             Action::Forward(cmd) => {
                 self.stats.forwards_sent += 1;
+                rec.counter(names::EP_FORWARDS_SENT, 1);
+                rec.event(self.st.pid, self.current_cid(), ObsEvent::ForwardSent);
                 let msg = self
                     .st
                     .buf(cmd.origin, &cmd.view)

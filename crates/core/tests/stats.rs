@@ -79,6 +79,42 @@ fn recovery_resets_counters() {
 }
 
 #[test]
+fn recovery_zeroes_every_counter_and_journals_the_reset() {
+    use vsgm_obs::{ObsEvent, ObsRecorder};
+    let mut ep = Endpoint::new(p(1), Config::default());
+    let mut rec = ObsRecorder::new();
+    full_change(&mut ep, 1, 1);
+    ep.handle(Input::AppSend(AppMsg::from("pre-crash")));
+    ep.poll();
+    let s = ep.stats();
+    assert!(s.views_installed >= 1 && s.msgs_sent >= 1 && s.syncs_sent >= 1);
+
+    ep.handle_rec(Input::Crash, &mut rec);
+    // Inputs while crashed are inert and must not disturb the counters.
+    ep.handle(Input::AppSend(AppMsg::from("lost")));
+    ep.handle_rec(Input::Recover, &mut rec);
+
+    // §8: recovery restarts from the initial volatile state — every
+    // counter field individually back at zero.
+    let s = ep.stats();
+    assert_eq!(s.views_installed, 0);
+    assert_eq!(s.msgs_sent, 0);
+    assert_eq!(s.msgs_delivered, 0);
+    assert_eq!(s.syncs_sent, 0);
+    assert_eq!(s.forwards_sent, 0);
+    assert_eq!(s.blocks, 0);
+    // The reset itself is journalled exactly once.
+    assert_eq!(rec.journal().count(ObsEvent::RecoveryReset), 1);
+
+    // Counting restarts from scratch after the reset.
+    full_change(&mut ep, 2, 2);
+    let s = ep.stats();
+    assert_eq!(s.views_installed, 1);
+    assert_eq!(s.syncs_sent, 1);
+    assert_eq!(s.blocks, 1);
+}
+
+#[test]
 fn wv_stack_counts_no_syncs_or_blocks() {
     let cfg = Config { stack: vsgm_core::Stack::Wv, ..Config::default() };
     let mut ep = Endpoint::new(p(1), cfg);

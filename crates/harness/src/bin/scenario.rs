@@ -2,14 +2,26 @@
 //!
 //! ```text
 //! cargo run -p vsgm-harness --bin scenario -- path/to/scenario.json
-//! cargo run -p vsgm-harness --bin scenario -- --demo       # built-in demo
-//! cargo run -p vsgm-harness --bin scenario -- --print-demo # emit demo JSON
+//! cargo run -p vsgm-harness --bin scenario -- --demo        # built-in demo
+//! cargo run -p vsgm-harness --bin scenario -- --print-demo  # emit demo JSON
+//! cargo run -p vsgm-harness --bin scenario -- --obs [file]  # + metrics table
 //! ```
+//!
+//! `--obs` runs the scenario with protocol observability on and prints
+//! the metrics snapshot table; with a file argument it runs that
+//! scenario instead of the demo.
 
 use vsgm_harness::Scenario;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "--demo".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let observe = if let Some(i) = args.iter().position(|a| a == "--obs") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let arg = args.into_iter().next().unwrap_or_else(|| "--demo".into());
     let scenario = match arg.as_str() {
         "--demo" => Scenario::demo(),
         "--print-demo" => {
@@ -22,7 +34,13 @@ fn main() {
             Scenario::from_json(&text).unwrap_or_else(|e| panic!("bad scenario JSON: {e}"))
         }
     };
-    let outcome = scenario.run();
+    let outcome = if observe {
+        let (outcome, snap) = scenario.run_observed();
+        println!("{}", snap.render_table());
+        outcome
+    } else {
+        scenario.run()
+    };
     println!("events: {}", outcome.events);
     for (kind, count) in &outcome.kind_counts {
         println!("  {kind:20} {count}");

@@ -4,8 +4,8 @@ use std::collections::BTreeMap;
 use vsgm_ioa::{SimTime, Trace};
 use vsgm_types::{Event, ProcessId, View};
 
-/// Aggregate numbers extracted from a trace.
-#[derive(Debug, Clone, Default)]
+/// Aggregate numbers extracted from a trace or an observability journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Summary {
     /// Application sends.
     pub sends: u64,
@@ -15,6 +15,13 @@ pub struct Summary {
     pub views: u64,
     /// Block requests issued.
     pub blocks: u64,
+    /// Block acknowledgements from the application.
+    pub block_oks: u64,
+    /// Synchronization messages sent (`sync_msg` plus leader-relayed
+    /// `sync_agg`), counted once per multicast.
+    pub syncs: u64,
+    /// Forwarded message copies sent, counted once per multicast.
+    pub forwards: u64,
     /// Per-process count of installed views.
     pub views_per_proc: BTreeMap<ProcessId, u64>,
 }
@@ -32,6 +39,41 @@ impl Summary {
                     *s.views_per_proc.entry(*p).or_insert(0) += 1;
                 }
                 Event::Block { .. } => s.blocks += 1,
+                Event::BlockOk { .. } => s.block_oks += 1,
+                Event::NetSend { msg, .. } => match msg.tag() {
+                    "sync_msg" | "sync_agg" => s.syncs += 1,
+                    "fwd_msg" => s.forwards += 1,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Digests an observability journal (see [`vsgm_obs::Journal`]).
+    ///
+    /// Counts the endpoint-side twin of each trace event: `MsgSent` /
+    /// `MsgDelivered` for application traffic, `ViewInstalled` for views,
+    /// `SyncSent` / `ForwardSent` for protocol traffic. On a run where
+    /// both the trace and the journal were recorded the two digests agree
+    /// (up to leader-relayed `sync_agg` multicasts, which the trace
+    /// attributes to the relaying leader).
+    pub fn from_journal(journal: &vsgm_obs::Journal) -> Self {
+        use vsgm_obs::ObsEvent;
+        let mut s = Summary::default();
+        for r in journal.records() {
+            match r.event {
+                ObsEvent::MsgSent => s.sends += 1,
+                ObsEvent::MsgDelivered => s.delivers += 1,
+                ObsEvent::ViewInstalled => {
+                    s.views += 1;
+                    *s.views_per_proc.entry(r.pid).or_insert(0) += 1;
+                }
+                ObsEvent::BlockRequested => s.blocks += 1,
+                ObsEvent::BlockOk => s.block_oks += 1,
+                ObsEvent::SyncSent => s.syncs += 1,
+                ObsEvent::ForwardSent => s.forwards += 1,
                 _ => {}
             }
         }
@@ -96,6 +138,32 @@ mod tests {
             Event::Deliver { p: p(1), q: p(1), msg: AppMsg::from("a") },
         );
         t.record(SimTime::from_micros(3), Event::Block { p: p(1) });
+        t.record(SimTime::from_micros(4), Event::BlockOk { p: p(1) });
+        t.record(
+            SimTime::from_micros(5),
+            Event::NetSend {
+                p: p(1),
+                set: ProcSet::new(),
+                msg: vsgm_types::NetMsg::Sync(vsgm_types::SyncPayload {
+                    cid: vsgm_types::StartChangeId::ZERO,
+                    view: Some(v.clone()),
+                    cut: vsgm_types::Cut::new(),
+                }),
+            },
+        );
+        t.record(
+            SimTime::from_micros(6),
+            Event::NetSend {
+                p: p(1),
+                set: ProcSet::new(),
+                msg: vsgm_types::NetMsg::Fwd(vsgm_types::FwdPayload {
+                    origin: p(1),
+                    view: v.clone(),
+                    index: 0,
+                    msg: AppMsg::from("a"),
+                }),
+            },
+        );
         t.record(
             SimTime::from_micros(9),
             Event::GcsView { p: p(1), view: v.clone(), transitional: ProcSet::new() },
@@ -111,7 +179,56 @@ mod tests {
         assert_eq!(s.delivers, 1);
         assert_eq!(s.views, 1);
         assert_eq!(s.blocks, 1);
+        assert_eq!(s.block_oks, 1);
+        assert_eq!(s.syncs, 1);
+        assert_eq!(s.forwards, 1);
         assert_eq!(s.views_per_proc[&p(1)], 1);
+    }
+
+    #[test]
+    fn install_completion_none_when_a_member_never_installs() {
+        // A two-member view of which only p1 records an install: the
+        // completion time is undefined.
+        let v2 = View::new(
+            vsgm_types::ViewId::new(1, 1),
+            [p(1), p(2)],
+            [
+                (p(1), vsgm_types::StartChangeId::new(1)),
+                (p(2), vsgm_types::StartChangeId::new(1)),
+            ],
+        );
+        let mut t = Trace::new();
+        t.record(
+            SimTime::from_micros(4),
+            Event::GcsView { p: p(1), view: v2.clone(), transitional: ProcSet::new() },
+        );
+        assert_eq!(install_completion(&t, &v2, 0), None);
+        // Once p2 installs too, completion is the later of the two times.
+        t.record(
+            SimTime::from_micros(7),
+            Event::GcsView { p: p(2), view: v2.clone(), transitional: ProcSet::new() },
+        );
+        assert_eq!(install_completion(&t, &v2, 0), Some(SimTime::from_micros(7)));
+    }
+
+    #[test]
+    fn journal_and_trace_digests_agree_on_a_real_run() {
+        use crate::sim::{procs, procs_of, Sim, SimOptions};
+        let mut sim =
+            Sim::new_paper(3, vsgm_core::Config::default(), SimOptions::default());
+        sim.enable_obs();
+        sim.reconfigure(&procs(3));
+        sim.send(p(1), AppMsg::from("m1"));
+        sim.send(p(2), AppMsg::from("m2"));
+        sim.run_to_quiescence();
+        sim.reconfigure(&procs_of(&[1, 2]));
+        sim.run_to_quiescence();
+        let obs = sim.take_obs().expect("obs on");
+        let a = Summary::from_trace(sim.trace());
+        let b = Summary::from_journal(obs.journal());
+        assert_eq!(a, b);
+        assert!(b.syncs > 0, "view changes must sync: {b:?}");
+        assert!(b.views > 0);
     }
 
     #[test]
@@ -119,7 +236,7 @@ mod tests {
         let (t, v) = sample();
         assert_eq!(install_completion(&t, &v, 0), Some(SimTime::from_micros(9)));
         // From a step after the install: nobody installs ⇒ None.
-        assert_eq!(install_completion(&t, &v, 4), None);
+        assert_eq!(install_completion(&t, &v, 7), None);
     }
 
     #[test]

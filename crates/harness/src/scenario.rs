@@ -99,6 +99,18 @@ impl Scenario {
     /// Runs the scenario under full spec checking and paper-invariant
     /// auditing.
     pub fn run(&self) -> Outcome {
+        self.run_inner(false).0
+    }
+
+    /// Like [`Scenario::run`], but with protocol observability on:
+    /// additionally returns a metrics snapshot (journal-derived spans,
+    /// counters, traffic) of the whole run.
+    pub fn run_observed(&self) -> (Outcome, vsgm_obs::Snapshot) {
+        let (outcome, snap) = self.run_inner(true);
+        (outcome, snap.expect("observability was enabled"))
+    }
+
+    fn run_inner(&self, observe: bool) -> (Outcome, Option<vsgm_obs::Snapshot>) {
         let mut sim = Sim::new_paper(
             self.n,
             Config::default(),
@@ -109,6 +121,9 @@ impl Scenario {
                 shuffle_polling: true,
             },
         );
+        if observe {
+            sim.enable_obs();
+        }
         for step in &self.steps {
             match step {
                 Step::Send { p, msg } => {
@@ -138,11 +153,15 @@ impl Scenario {
         sim.run_to_quiescence();
         sim.assert_paper_invariants();
         let violations = sim.finish();
-        Outcome {
-            events: sim.trace().len(),
-            kind_counts: sim.trace().kind_counts(),
-            violations,
-        }
+        let snap = sim.take_obs().map(|r| vsgm_obs::Snapshot::capture(&r));
+        (
+            Outcome {
+                events: sim.trace().len(),
+                kind_counts: sim.trace().kind_counts(),
+                violations,
+            },
+            snap,
+        )
     }
 
     /// A demonstration scenario exercising most step kinds.
@@ -179,6 +198,16 @@ mod tests {
         assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
         assert!(outcome.events > 0);
         assert!(outcome.kind_counts["deliver"] >= 4);
+    }
+
+    #[test]
+    fn observed_run_produces_a_snapshot() {
+        let (outcome, snap) = Scenario::demo().run_observed();
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+        assert!(snap.view_changes_completed > 0, "{}", snap.render_table());
+        assert!(snap.journal_len > 0);
+        // The snapshot serializes (consumed by benches and CLI tooling).
+        assert!(snap.to_json_pretty().contains("view_changes_completed"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use vsgm_core::{BlockingClient, Config, Effect, Endpoint, GroupEndpoint, Input};
 use vsgm_ioa::{CheckSet, SimRng, SimTime, Trace, Violation};
 use vsgm_membership::MembershipOracle;
 use vsgm_net::{LatencyModel, SimNet};
+use vsgm_obs::{NoopRecorder, ObsEvent, ObsRecorder, Recorder};
 use vsgm_types::{AppMsg, Event, NetMsg, ProcSet, ProcessId, View};
 
 /// Simulation options.
@@ -57,6 +58,22 @@ pub struct Sim<E: GroupEndpoint = Endpoint> {
     checks: CheckSet,
     proposer_seq: u64,
     sched_rng: SimRng,
+    /// Optional observability recorder (off by default; [`Sim::enable_obs`]).
+    obs: Option<ObsRecorder>,
+    /// No-op sink used when observability is off.
+    noop: NoopRecorder,
+}
+
+/// Selects the active recorder without borrowing the whole `Sim` (so the
+/// network / endpoint maps can be borrowed simultaneously).
+fn rec_of<'a>(
+    obs: &'a mut Option<ObsRecorder>,
+    noop: &'a mut NoopRecorder,
+) -> &'a mut dyn Recorder {
+    match obs {
+        Some(r) => r,
+        None => noop,
+    }
 }
 
 impl Sim<Endpoint> {
@@ -123,7 +140,31 @@ impl<E: GroupEndpoint> Sim<E> {
             checks,
             proposer_seq: 0,
             sched_rng,
+            obs: None,
+            noop: NoopRecorder,
         }
+    }
+
+    /// Turns on protocol observability: from now on every membership
+    /// notification, endpoint step and network hop is mirrored into a
+    /// [`vsgm_obs`] event journal and metrics registry. Idempotent.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            let mut r = ObsRecorder::new();
+            r.advance_time(self.time);
+            self.obs = Some(r);
+        }
+    }
+
+    /// The observability recorder, if [`Sim::enable_obs`] was called.
+    pub fn obs(&self) -> Option<&ObsRecorder> {
+        self.obs.as_ref()
+    }
+
+    /// Removes and returns the recorder (e.g. to snapshot it after a
+    /// run); observability is off afterwards.
+    pub fn take_obs(&mut self) -> Option<ObsRecorder> {
+        self.obs.take()
     }
 
     /// All process ids.
@@ -193,7 +234,9 @@ impl<E: GroupEndpoint> Sim<E> {
         let release = self.clients.get_mut(&p).expect("known proc").want_send(msg);
         if let Some(m) = release {
             self.record(Event::Send { p, msg: m.clone() });
-            let effects = self.eps.get_mut(&p).expect("known proc").handle(Input::AppSend(m));
+            let rec = rec_of(&mut self.obs, &mut self.noop);
+            let effects =
+                self.eps.get_mut(&p).expect("known proc").handle_rec(Input::AppSend(m), rec);
             self.route(p, effects);
         }
     }
@@ -216,11 +259,12 @@ impl<E: GroupEndpoint> Sim<E> {
             self.record(Event::MbrshpStartChange { p: n.p, cid: n.cid, set: n.set.clone() });
             let live = self.net.live_set(n.p);
             self.record(Event::Live { p: n.p, set: live });
+            let rec = rec_of(&mut self.obs, &mut self.noop);
             let effects = self
                 .eps
                 .get_mut(&n.p)
                 .expect("known proc")
-                .handle(Input::StartChange { cid: n.cid, set: n.set });
+                .handle_rec(Input::StartChange { cid: n.cid, set: n.set }, rec);
             self.route(n.p, effects);
         }
         self.step_all();
@@ -237,8 +281,12 @@ impl<E: GroupEndpoint> Sim<E> {
             self.record(Event::MbrshpView { p: *m, view: view.clone() });
             let live = self.net.live_set(*m);
             self.record(Event::Live { p: *m, set: live });
-            let effects =
-                self.eps.get_mut(m).expect("known proc").handle(Input::MbrshpView(view.clone()));
+            let rec = rec_of(&mut self.obs, &mut self.noop);
+            let effects = self
+                .eps
+                .get_mut(m)
+                .expect("known proc")
+                .handle_rec(Input::MbrshpView(view.clone()), rec);
             self.route(*m, effects);
         }
         self.step_all();
@@ -266,8 +314,12 @@ impl<E: GroupEndpoint> Sim<E> {
         self.record(Event::MbrshpStartChange { p, cid, set: set.clone() });
         let live = self.net.live_set(p);
         self.record(Event::Live { p, set: live });
-        let effects =
-            self.eps.get_mut(&p).expect("known proc").handle(Input::StartChange { cid, set });
+        let rec = rec_of(&mut self.obs, &mut self.noop);
+        let effects = self
+            .eps
+            .get_mut(&p)
+            .expect("known proc")
+            .handle_rec(Input::StartChange { cid, set }, rec);
         self.route(p, effects);
     }
 
@@ -279,7 +331,9 @@ impl<E: GroupEndpoint> Sim<E> {
         self.record(Event::MbrshpView { p, view: view.clone() });
         let live = self.net.live_set(p);
         self.record(Event::Live { p, set: live });
-        let effects = self.eps.get_mut(&p).expect("known proc").handle(Input::MbrshpView(view));
+        let rec = rec_of(&mut self.obs, &mut self.noop);
+        let effects =
+            self.eps.get_mut(&p).expect("known proc").handle_rec(Input::MbrshpView(view), rec);
         self.route(p, effects);
     }
 
@@ -300,7 +354,8 @@ impl<E: GroupEndpoint> Sim<E> {
     pub fn crash(&mut self, p: ProcessId) {
         self.record(Event::Crash { p });
         self.net.crash(p);
-        let effects = self.eps.get_mut(&p).expect("known proc").handle(Input::Crash);
+        let rec = rec_of(&mut self.obs, &mut self.noop);
+        let effects = self.eps.get_mut(&p).expect("known proc").handle_rec(Input::Crash, rec);
         self.route(p, effects);
         self.clients.insert(p, BlockingClient::new());
     }
@@ -310,7 +365,8 @@ impl<E: GroupEndpoint> Sim<E> {
         self.record(Event::Recover { p });
         self.net.recover(p);
         self.oracle.recover(p);
-        let effects = self.eps.get_mut(&p).expect("known proc").handle(Input::Recover);
+        let rec = rec_of(&mut self.obs, &mut self.noop);
+        let effects = self.eps.get_mut(&p).expect("known proc").handle_rec(Input::Recover, rec);
         self.route(p, effects);
     }
 
@@ -326,7 +382,8 @@ impl<E: GroupEndpoint> Sim<E> {
                 self.sched_rng.shuffle(&mut ids);
             }
             for id in ids {
-                let effects = self.eps.get_mut(&id).expect("known proc").poll();
+                let rec = rec_of(&mut self.obs, &mut self.noop);
+                let effects = self.eps.get_mut(&id).expect("known proc").poll_rec(rec);
                 if !effects.is_empty() {
                     progress = true;
                     self.route(id, effects);
@@ -345,10 +402,15 @@ impl<E: GroupEndpoint> Sim<E> {
     pub fn deliver_next(&mut self) -> bool {
         let Some(t) = self.net.next_arrival() else { return false };
         self.time = t;
-        let batch = self.net.pop_ready(t);
+        if let Some(r) = &mut self.obs {
+            r.advance_time(t);
+        }
+        let batch = self.net.pop_ready_rec(t, rec_of(&mut self.obs, &mut self.noop));
         for (from, to, msg) in batch {
             self.record(Event::NetDeliver { p: from, q: to, msg: msg.clone() });
-            let effects = self.eps.get_mut(&to).expect("known proc").handle(Input::Net { from, msg });
+            let rec = rec_of(&mut self.obs, &mut self.noop);
+            let effects =
+                self.eps.get_mut(&to).expect("known proc").handle_rec(Input::Net { from, msg }, rec);
             self.route(to, effects);
         }
         self.step_all();
@@ -373,7 +435,8 @@ impl<E: GroupEndpoint> Sim<E> {
                 Effect::NetSend { to, msg } => {
                     self.record(Event::NetSend { p: from, set: to.clone(), msg: msg.clone() });
                     let now = self.time;
-                    self.net.send(now, from, &to, &msg);
+                    let rec = rec_of(&mut self.obs, &mut self.noop);
+                    self.net.send_rec(now, from, &to, &msg, rec);
                 }
                 Effect::SetReliable(set) => {
                     self.record(Event::Reliable { p: from, set: set.clone() });
@@ -387,8 +450,12 @@ impl<E: GroupEndpoint> Sim<E> {
                     let released = self.clients.get_mut(&from).expect("known proc").on_view();
                     for m in released {
                         self.record(Event::Send { p: from, msg: m.clone() });
-                        let more =
-                            self.eps.get_mut(&from).expect("known proc").handle(Input::AppSend(m));
+                        let rec = rec_of(&mut self.obs, &mut self.noop);
+                        let more = self
+                            .eps
+                            .get_mut(&from)
+                            .expect("known proc")
+                            .handle_rec(Input::AppSend(m), rec);
                         self.route(from, more);
                     }
                 }
@@ -398,7 +465,12 @@ impl<E: GroupEndpoint> Sim<E> {
                     client.on_block();
                     if client.ack_block() {
                         self.record(Event::BlockOk { p: from });
-                        let more = self.eps.get_mut(&from).expect("known proc").handle(Input::BlockOk);
+                        let rec = rec_of(&mut self.obs, &mut self.noop);
+                        let more = self
+                            .eps
+                            .get_mut(&from)
+                            .expect("known proc")
+                            .handle_rec(Input::BlockOk, rec);
                         self.route(from, more);
                     }
                 }
@@ -410,7 +482,15 @@ impl<E: GroupEndpoint> Sim<E> {
     /// over the whole run.
     pub fn finish(&mut self) -> Vec<Violation> {
         self.checks.finish();
-        self.checks.violations().to_vec()
+        let violations = self.checks.violations().to_vec();
+        if let Some(r) = &mut self.obs {
+            // Violations are global properties of the trace; they are
+            // journalled under the reserved marker id `p0`.
+            for _ in &violations {
+                r.event(ProcessId::new(0), None, ObsEvent::InvariantViolated);
+            }
+        }
+        violations
     }
 
     /// Adds an extra checker (e.g. a liveness expectation) that will see
@@ -626,6 +706,80 @@ mod tests {
         sim.send(ProcessId::new(1), AppMsg::from("wv"));
         sim.run_to_quiescence();
         assert_eq!(sim.trace().kind_counts()["deliver"], 2);
+    }
+
+    #[test]
+    fn obs_journal_traces_one_sync_per_endpoint_per_view_change() {
+        // The acceptance scenario: three processes, several view changes,
+        // observability on. The journal must show exactly one sync message
+        // per endpoint per (uncascaded) view change, and a finite
+        // start_change → view-install latency span for every member of
+        // the final view.
+        let mut sim = Sim::new_paper(3, Config::default(), SimOptions::default());
+        sim.enable_obs();
+        sim.reconfigure(&procs(3));
+        for i in 1..=3 {
+            sim.send(ProcessId::new(i), AppMsg::from("payload"));
+        }
+        sim.run_to_quiescence();
+        sim.reconfigure(&procs_of(&[1, 2]));
+        sim.run_to_quiescence();
+        let final_view = sim.reconfigure(&procs(3));
+        sim.run_to_quiescence();
+        sim.assert_clean();
+
+        let obs = sim.take_obs().expect("obs enabled");
+        let journal = obs.journal();
+        let spans = journal.spans();
+        let completed: Vec<_> = spans.iter().filter(|s| s.complete()).collect();
+        assert!(!completed.is_empty(), "no completed view-change spans");
+        for s in &completed {
+            assert_eq!(
+                s.syncs_sent, 1,
+                "exactly one sync per endpoint per view change: {s:?}"
+            );
+            assert!(s.latency().is_some(), "finite sync-round latency: {s:?}");
+        }
+        // Every member of the final view closed its most recent span.
+        for m in final_view.members() {
+            let last = spans
+                .iter()
+                .filter(|s| s.pid == *m)
+                .max_by_key(|s| s.start_step)
+                .expect("member has a view-change span");
+            assert!(last.complete(), "final view installed at {m}: {last:?}");
+            assert!(last.latency().is_some());
+        }
+        // The registry agrees with the journal on installs, and the sim's
+        // network stats view can be rebuilt from the registry.
+        let reg = obs.registry();
+        assert_eq!(
+            reg.counter(vsgm_obs::names::EP_VIEWS_INSTALLED),
+            journal.count(vsgm_obs::ObsEvent::ViewInstalled) as u64
+        );
+        let lat = reg.histogram(vsgm_obs::names::SYNC_ROUND_LATENCY_US).expect("span latencies");
+        assert!(lat.count() > 0);
+        let via_reg = vsgm_net::NetStats::from_registry(reg);
+        assert_eq!(via_reg.delivered, sim.net().stats().delivered);
+        assert!(via_reg.count("sync_msg") + via_reg.count("sync_agg") > 0);
+    }
+
+    #[test]
+    fn obs_disabled_records_nothing_and_changes_nothing() {
+        // The same run with and without the recorder produces the same
+        // trace (the no-op path is behaviourally inert).
+        let run = |observe: bool| {
+            let mut sim = Sim::new_paper(3, Config::default(), SimOptions::default());
+            if observe {
+                sim.enable_obs();
+            }
+            sim.reconfigure(&procs(3));
+            sim.send(ProcessId::new(1), AppMsg::from("x"));
+            sim.run_to_quiescence();
+            assert_eq!(sim.obs().is_some(), observe);
+            sim.trace().to_json_lines()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

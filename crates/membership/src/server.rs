@@ -31,6 +31,7 @@ use crate::oracle::Notice;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use vsgm_net::Wire;
+use vsgm_obs::{names, NoopRecorder, Recorder};
 use vsgm_types::{ProcSet, ProcessId, StartChangeId, View, ViewId};
 
 /// Server-to-server protocol messages.
@@ -169,6 +170,22 @@ impl Server {
         servers: ProcSet,
         alive_clients: ProcSet,
     ) -> Vec<ServerOutput> {
+        self.set_connectivity_rec(servers, alive_clients, &mut NoopRecorder)
+    }
+
+    /// [`Server::set_connectivity`] with an observability [`Recorder`]:
+    /// counts rounds entered, `start_change` notifications issued, and
+    /// view deliveries produced by the estimate change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` does not include this server.
+    pub fn set_connectivity_rec(
+        &mut self,
+        servers: ProcSet,
+        alive_clients: ProcSet,
+        rec: &mut dyn Recorder,
+    ) -> Vec<ServerOutput> {
         assert!(servers.contains(&self.id), "estimate must include self");
         let alive: ProcSet = alive_clients.intersection(&self.local_clients).copied().collect();
         if self.bootstrapped && servers == self.est_servers && alive == self.alive_clients {
@@ -181,11 +198,29 @@ impl Server {
         self.alive_clients = alive;
         let next_round = self.highest_known_round() + 1;
         let suggestion = self.current_union_estimate();
-        self.enter_round(next_round, suggestion)
+        let round_before = self.round;
+        let outs = self.enter_round(next_round, suggestion);
+        record_round_progress(rec, round_before, self.round, &outs);
+        outs
     }
 
     /// Handles a protocol message from a peer server.
     pub fn handle(&mut self, msg: ServerMsg) -> Vec<ServerOutput> {
+        self.handle_rec(msg, &mut NoopRecorder)
+    }
+
+    /// [`Server::handle`] with an observability [`Recorder`]: counts
+    /// processed proposals, rounds joined, `start_change` notifications
+    /// issued, and views formed.
+    pub fn handle_rec(&mut self, msg: ServerMsg, rec: &mut dyn Recorder) -> Vec<ServerOutput> {
+        rec.counter(names::MBRSHP_PROPOSALS, 1);
+        let round_before = self.round;
+        let outs = self.handle_inner(msg);
+        record_round_progress(rec, round_before, self.round, &outs);
+        outs
+    }
+
+    fn handle_inner(&mut self, msg: ServerMsg) -> Vec<ServerOutput> {
         let ServerMsg::Proposal {
             from,
             round,
@@ -331,6 +366,25 @@ impl Server {
             .filter(|c| members.contains(c))
             .map(|c| ServerOutput::View { client: *c, view: view.clone() })
             .collect()
+    }
+}
+
+/// Mirrors one server call's round progress and outputs into a recorder.
+fn record_round_progress(
+    rec: &mut dyn Recorder,
+    round_before: u64,
+    round_after: u64,
+    outs: &[ServerOutput],
+) {
+    if round_after > round_before {
+        rec.counter(names::MBRSHP_ROUNDS, 1);
+    }
+    for o in outs {
+        match o {
+            ServerOutput::StartChange(_) => rec.counter(names::MBRSHP_START_CHANGES, 1),
+            ServerOutput::View { .. } => rec.counter(names::MBRSHP_VIEWS_FORMED, 1),
+            ServerOutput::Broadcast { .. } => {}
+        }
     }
 }
 
@@ -555,6 +609,34 @@ mod tests {
             est_servers: set(&[100, 200]),
         };
         assert!(s1.handle(msg).is_empty());
+    }
+
+    #[test]
+    fn recorder_counts_rounds_starts_and_views() {
+        use vsgm_obs::Registry;
+        let mut reg = Registry::new();
+        let mut s = Server::new(p(100), [p(1), p(2)]);
+        let outs = s.set_connectivity_rec(set(&[100]), set(&[1, 2]), &mut reg);
+        // A lone server enters one round and forms the local view at once.
+        assert!(!outs.is_empty());
+        assert_eq!(reg.counter(names::MBRSHP_ROUNDS), 1);
+        assert_eq!(reg.counter(names::MBRSHP_START_CHANGES), 2);
+        assert_eq!(reg.counter(names::MBRSHP_VIEWS_FORMED), 2);
+        assert_eq!(reg.counter(names::MBRSHP_PROPOSALS), 0);
+        // A stale proposal is still counted as processed but changes nothing.
+        let stale = ServerMsg::Proposal {
+            from: p(100),
+            round: 0,
+            epoch: 0,
+            members: set(&[9]),
+            start_ids: BTreeMap::new(),
+            suggested: set(&[9]),
+            est_servers: set(&[100]),
+        };
+        let outs = s.handle_rec(stale, &mut reg);
+        assert!(outs.is_empty());
+        assert_eq!(reg.counter(names::MBRSHP_PROPOSALS), 1);
+        assert_eq!(reg.counter(names::MBRSHP_ROUNDS), 1);
     }
 
     #[test]

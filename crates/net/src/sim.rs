@@ -5,11 +5,13 @@ use crate::stats::NetStats;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use vsgm_ioa::{SimRng, SimTime};
 use crate::Wire;
+use vsgm_obs::{names, NoopRecorder, Recorder};
 use vsgm_types::{NetMsg, ProcSet, ProcessId};
 
 #[derive(Debug, Clone)]
 struct InFlight<M> {
     msg: M,
+    sent: SimTime,
     arrival: SimTime,
 }
 
@@ -121,6 +123,19 @@ impl<M: Wire> SimNet<M> {
 
     /// `CO_RFIFO.send_p(set, m)` at simulated time `now`.
     pub fn send(&mut self, now: SimTime, from: ProcessId, set: &ProcSet, msg: &M) {
+        self.send_rec(now, from, set, msg, &mut NoopRecorder);
+    }
+
+    /// [`SimNet::send`] with an observability [`Recorder`]: mirrors the
+    /// per-tag traffic and drop accounting into the recorder.
+    pub fn send_rec(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        set: &ProcSet,
+        msg: &M,
+        rec: &mut dyn Recorder,
+    ) {
         for q in set {
             if *q == from {
                 continue; // end-points never multicast to themselves
@@ -129,13 +144,15 @@ impl<M: Wire> SimNet<M> {
             if !reliable && !self.connected(from, *q) {
                 // lose(from, q): the freshly appended message is the tail.
                 self.stats.dropped += 1;
+                rec.counter(names::NET_DROPPED, 1);
                 continue;
             }
             self.stats.record_send(msg);
+            rec.traffic(msg.tag(), msg.wire_size() as u64);
             let chan = self.channels.entry((from, *q)).or_default();
             let floor = chan.back().map_or(SimTime::ZERO, |m| m.arrival);
             let arrival = (now + self.latency.sample(&mut self.rng)).max(floor);
-            chan.push_back(InFlight { msg: msg.clone(), arrival });
+            chan.push_back(InFlight { msg: msg.clone(), sent: now, arrival });
         }
     }
 
@@ -236,6 +253,17 @@ impl<M: Wire> SimNet<M> {
     /// a deliverable channel, preserving per-channel FIFO order. Channel
     /// iteration order is deterministic (sorted by `(from, to)`).
     pub fn pop_ready(&mut self, now: SimTime) -> Vec<(ProcessId, ProcessId, M)> {
+        self.pop_ready_rec(now, &mut NoopRecorder)
+    }
+
+    /// [`SimNet::pop_ready`] with an observability [`Recorder`]: counts
+    /// deliveries and feeds each message's network transit time into the
+    /// `net.delivery_latency_us` histogram.
+    pub fn pop_ready_rec(
+        &mut self,
+        now: SimTime,
+        rec: &mut dyn Recorder,
+    ) -> Vec<(ProcessId, ProcessId, M)> {
         let mut out = Vec::new();
         let keys: Vec<(ProcessId, ProcessId)> = self.channels.keys().copied().collect();
         for key in keys {
@@ -246,6 +274,11 @@ impl<M: Wire> SimNet<M> {
             while chan.front().is_some_and(|m| m.arrival <= now) {
                 let m = chan.pop_front().expect("checked nonempty");
                 self.stats.delivered += 1;
+                rec.counter(names::NET_DELIVERED, 1);
+                rec.observe(
+                    names::NET_DELIVERY_LATENCY_US,
+                    m.arrival.saturating_sub(m.sent).as_micros(),
+                );
                 out.push((key.0, key.1, m.msg));
             }
         }

@@ -1,0 +1,240 @@
+//! The structured event journal and view-change span extraction.
+
+use crate::event::{ObsEvent, ObsRecord};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use vsgm_ioa::SimTime;
+use vsgm_types::{ProcessId, StartChangeId};
+
+/// One view-change span at one end-point: opened by the first event
+/// carrying a local start-change id, closed by `ViewInstalled`.
+///
+/// `StartChangeId`s are only *locally* unique (§3.1), so the span key is
+/// the pair `(pid, cid)`. Cascaded start_changes open one span per cid;
+/// only the last one typically closes with an install — the earlier spans
+/// stay incomplete, which is itself a useful observable (obsolete view
+/// proposals the algorithm skipped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewChangeSpan {
+    /// End-point the span belongs to.
+    pub pid: ProcessId,
+    /// The local start-change id keying the span.
+    pub cid: StartChangeId,
+    /// Journal step of the opening event.
+    pub start_step: u64,
+    /// Simulated time of the opening event.
+    pub start_time: SimTime,
+    /// Journal step of the `ViewInstalled` close, if the span completed.
+    pub installed_step: Option<u64>,
+    /// Simulated time of the `ViewInstalled` close, if the span completed.
+    pub installed_time: Option<SimTime>,
+    /// Synchronization messages this end-point sent within the span.
+    pub syncs_sent: u64,
+    /// Peer synchronization messages processed within the span.
+    pub syncs_recv: u64,
+    /// Cut agreements reached within the span.
+    pub cuts_agreed: u64,
+    /// Block requests issued within the span.
+    pub blocks: u64,
+}
+
+impl ViewChangeSpan {
+    /// Whether the span closed with a view install.
+    pub fn complete(&self) -> bool {
+        self.installed_time.is_some()
+    }
+
+    /// The sync-round latency `start_change → view install` (`None` while
+    /// the span is open).
+    pub fn latency(&self) -> Option<SimTime> {
+        self.installed_time.map(|t| t.saturating_sub(self.start_time))
+    }
+}
+
+/// An append-only journal of [`ObsRecord`]s with span-level queries.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    records: Vec<ObsRecord>,
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends a record (recorders stamp steps monotonically).
+    pub fn push(&mut self, record: ObsRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in recording order.
+    pub fn records(&self) -> &[ObsRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total occurrences of `event`.
+    pub fn count(&self, event: ObsEvent) -> u64 {
+        self.records.iter().filter(|r| r.event == event).count() as u64
+    }
+
+    /// Occurrences of `event` at `pid`.
+    pub fn count_at(&self, pid: ProcessId, event: ObsEvent) -> u64 {
+        self.records.iter().filter(|r| r.pid == pid && r.event == event).count() as u64
+    }
+
+    /// Extracts every view-change span, in order of first appearance.
+    ///
+    /// Grouping rule: any record carrying `cid = Some(c)` belongs to the
+    /// span `(pid, c)`; the first such record opens the span and
+    /// `ViewInstalled` closes it. Events after the close (a re-used cid
+    /// cannot occur — cids are locally monotone) are counted into the
+    /// closed span, which keeps the extraction total.
+    pub fn spans(&self) -> Vec<ViewChangeSpan> {
+        let mut order: Vec<(ProcessId, StartChangeId)> = Vec::new();
+        let mut map: BTreeMap<(ProcessId, StartChangeId), ViewChangeSpan> = BTreeMap::new();
+        for r in &self.records {
+            let Some(cid) = r.cid else { continue };
+            let key = (r.pid, cid);
+            let span = map.entry(key).or_insert_with(|| {
+                order.push(key);
+                ViewChangeSpan {
+                    pid: r.pid,
+                    cid,
+                    start_step: r.step,
+                    start_time: r.time,
+                    installed_step: None,
+                    installed_time: None,
+                    syncs_sent: 0,
+                    syncs_recv: 0,
+                    cuts_agreed: 0,
+                    blocks: 0,
+                }
+            });
+            match r.event {
+                ObsEvent::SyncSent => span.syncs_sent += 1,
+                ObsEvent::SyncRecv => span.syncs_recv += 1,
+                ObsEvent::CutAgreed => span.cuts_agreed += 1,
+                ObsEvent::BlockRequested => span.blocks += 1,
+                ObsEvent::ViewInstalled if span.installed_time.is_none() => {
+                    span.installed_step = Some(r.step);
+                    span.installed_time = Some(r.time);
+                }
+                _ => {}
+            }
+        }
+        order.into_iter().map(|k| map.remove(&k).expect("keyed by order")).collect()
+    }
+
+    /// The span `(pid, cid)`, if any event referenced it.
+    pub fn span(&self, pid: ProcessId, cid: StartChangeId) -> Option<ViewChangeSpan> {
+        self.spans().into_iter().find(|s| s.pid == pid && s.cid == cid)
+    }
+
+    /// Latencies of every *completed* span, in µs, in span order.
+    pub fn completed_span_latencies_us(&self) -> Vec<u64> {
+        self.spans()
+            .iter()
+            .filter_map(|s| s.latency())
+            .map(|t| t.as_micros())
+            .collect()
+    }
+
+    /// Serializes the journal as JSON lines (one record per line).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&serde_json::to_string(&r.to_value()).expect("records are serializable"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn rec(pid: u64, step: u64, us: u64, cid: Option<u64>, event: ObsEvent) -> ObsRecord {
+        ObsRecord {
+            pid: p(pid),
+            step,
+            time: SimTime::from_micros(us),
+            cid: cid.map(StartChangeId::new),
+            event,
+        }
+    }
+
+    #[test]
+    fn spans_open_close_and_count() {
+        let mut j = Journal::new();
+        j.push(rec(1, 0, 10, Some(1), ObsEvent::StartChangeRecv));
+        j.push(rec(1, 1, 11, Some(1), ObsEvent::BlockRequested));
+        j.push(rec(1, 2, 12, Some(1), ObsEvent::SyncSent));
+        j.push(rec(1, 3, 20, Some(1), ObsEvent::SyncRecv));
+        j.push(rec(1, 4, 21, Some(1), ObsEvent::CutAgreed));
+        j.push(rec(1, 5, 21, Some(1), ObsEvent::ViewInstalled));
+        j.push(rec(1, 6, 30, None, ObsEvent::MsgDelivered));
+        let spans = j.spans();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert!(s.complete());
+        assert_eq!(s.latency(), Some(SimTime::from_micros(11)));
+        assert_eq!(s.syncs_sent, 1);
+        assert_eq!(s.syncs_recv, 1);
+        assert_eq!(s.cuts_agreed, 1);
+        assert_eq!(s.blocks, 1);
+        assert_eq!(j.completed_span_latencies_us(), vec![11]);
+    }
+
+    #[test]
+    fn cascaded_start_changes_leave_incomplete_spans() {
+        let mut j = Journal::new();
+        j.push(rec(1, 0, 0, Some(1), ObsEvent::StartChangeRecv));
+        j.push(rec(1, 1, 5, Some(2), ObsEvent::StartChangeRecv));
+        j.push(rec(1, 2, 9, Some(2), ObsEvent::ViewInstalled));
+        let spans = j.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(!spans[0].complete() && spans[0].latency().is_none());
+        assert!(spans[1].complete());
+        assert_eq!(j.completed_span_latencies_us(), vec![4]);
+    }
+
+    #[test]
+    fn spans_are_keyed_per_process() {
+        let mut j = Journal::new();
+        j.push(rec(1, 0, 0, Some(1), ObsEvent::StartChangeRecv));
+        j.push(rec(2, 1, 0, Some(1), ObsEvent::StartChangeRecv));
+        j.push(rec(1, 2, 7, Some(1), ObsEvent::ViewInstalled));
+        let spans = j.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(j.span(p(1), StartChangeId::new(1)).unwrap().complete());
+        assert!(!j.span(p(2), StartChangeId::new(1)).unwrap().complete());
+        assert_eq!(j.count(ObsEvent::StartChangeRecv), 2);
+        assert_eq!(j.count_at(p(1), ObsEvent::StartChangeRecv), 1);
+    }
+
+    #[test]
+    fn json_lines_roundtrip_shape() {
+        let mut j = Journal::new();
+        j.push(rec(1, 0, 3, Some(4), ObsEvent::SyncSent));
+        let lines = j.to_json_lines();
+        assert_eq!(lines.lines().count(), 1);
+        let v: serde::Value = serde_json::from_str(lines.trim()).unwrap();
+        assert_eq!(v.get("event"), Some(&serde::Value::Str("sync_sent".into())));
+    }
+}

@@ -1,0 +1,294 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms, and
+//! per-tag traffic accounting, all keyed by `&'static str` names so the
+//! hot path never allocates.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket `i < 32` holds values whose
+/// power-of-two magnitude is `i` (i.e. `floor(log2(v)) == i - 1` with 0 in
+/// bucket 0); the last bucket is the overflow.
+pub const HISTOGRAM_BUCKETS: usize = 33;
+
+/// A fixed-bucket `u64` histogram with power-of-two bucket bounds.
+///
+/// Values land in bucket `⌈log2(v+1)⌉` clamped to the overflow bucket, so
+/// the upper bound of bucket `i` is `2^i − 1`. Alongside the buckets the
+/// histogram tracks exact count / sum / min / max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Upper bucket bound below which at least `q` (in `[0,1]`) of the
+    /// observations fall (`None` when empty). A coarse quantile: exact to
+    /// the power-of-two bucket.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return Some(Self::bucket_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Iterates the non-empty buckets as `(inclusive upper bound, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (Self::bucket_bound(i), *c))
+    }
+}
+
+/// Per-tag traffic totals (mirrors the network layer's accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagTraffic {
+    /// Point-to-point sends of messages with this tag.
+    pub count: u64,
+    /// Total wire bytes of messages with this tag.
+    pub bytes: u64,
+}
+
+/// Central metrics store. All keys are `&'static str`, so recording is a
+/// map lookup plus an integer update — no allocation, no formatting.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    traffic: BTreeMap<&'static str, TagTraffic>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the counter `name`.
+    pub fn incr(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of gauge `name` (`None` when never set).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Accounts one point-to-point send of `bytes` wire bytes with `tag`.
+    pub fn record_traffic(&mut self, tag: &'static str, bytes: u64) {
+        let t = self.traffic.entry(tag).or_default();
+        t.count += 1;
+        t.bytes += bytes;
+    }
+
+    /// Traffic totals for `tag`.
+    pub fn traffic(&self, tag: &str) -> TagTraffic {
+        self.traffic.get(tag).copied().unwrap_or_default()
+    }
+
+    /// Iterates `(tag, totals)` traffic rows in tag order.
+    pub fn traffic_rows(&self) -> impl Iterator<Item = (&'static str, TagTraffic)> + '_ {
+        self.traffic.iter().map(|(t, v)| (*t, *v))
+    }
+
+    /// Iterates `(name, value)` counter rows in name order.
+    pub fn counter_rows(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// Iterates `(name, value)` gauge rows in name order.
+    pub fn gauge_rows(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// Iterates `(name, histogram)` rows in name order.
+    pub fn histogram_rows(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(n, h)| (*n, h))
+    }
+}
+
+/// Well-known metric names shared by the instrumented layers, so views
+/// over the registry (e.g. `EndpointStats`, `NetStats`) and exporters
+/// agree on keys.
+pub mod names {
+    /// GCS views installed (end-point layer).
+    pub const EP_VIEWS_INSTALLED: &str = "endpoint.views_installed";
+    /// Application messages multicast (end-point layer).
+    pub const EP_MSGS_SENT: &str = "endpoint.msgs_sent";
+    /// Application messages delivered (end-point layer).
+    pub const EP_MSGS_DELIVERED: &str = "endpoint.msgs_delivered";
+    /// Synchronization messages sent (end-point layer).
+    pub const EP_SYNCS_SENT: &str = "endpoint.syncs_sent";
+    /// Forwarded copies sent (end-point layer, §5.2.2).
+    pub const EP_FORWARDS_SENT: &str = "endpoint.forwards_sent";
+    /// Block requests issued (end-point layer).
+    pub const EP_BLOCKS: &str = "endpoint.blocks";
+    /// Messages dropped by the network (loss outside reliable sets).
+    pub const NET_DROPPED: &str = "net.dropped";
+    /// Messages delivered by the network.
+    pub const NET_DELIVERED: &str = "net.delivered";
+    /// Histogram of per-message network transit time, in microseconds.
+    pub const NET_DELIVERY_LATENCY_US: &str = "net.delivery_latency_us";
+    /// Histogram of start_change → view-install span latency, µs.
+    pub const SYNC_ROUND_LATENCY_US: &str = "span.sync_round_latency_us";
+    /// Membership rounds entered by servers.
+    pub const MBRSHP_ROUNDS: &str = "mbrshp.rounds_entered";
+    /// Peer proposals processed by membership servers.
+    pub const MBRSHP_PROPOSALS: &str = "mbrshp.proposals_recv";
+    /// Views formed (per client notification) by membership servers.
+    pub const MBRSHP_VIEWS_FORMED: &str = "mbrshp.views_formed";
+    /// `start_change` notifications issued by membership servers.
+    pub const MBRSHP_START_CHANGES: &str = "mbrshp.start_changes_sent";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = Registry::new();
+        r.incr("a", 2);
+        r.incr("a", 3);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        r.set_gauge("g", 7);
+        r.set_gauge("g", 9);
+        assert_eq!(r.gauge("g"), Some(9));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 1000 → bucket 10.
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1], (1, 1));
+        assert_eq!(buckets[2], (3, 2));
+        assert_eq!(buckets[3], (1023, 1));
+        assert_eq!(buckets[4], (u64::MAX, 1));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        assert!((32..=127).contains(&q50), "{q50}");
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        assert_eq!(h.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn traffic_rows_accumulate() {
+        let mut r = Registry::new();
+        r.record_traffic("sync_msg", 100);
+        r.record_traffic("sync_msg", 50);
+        r.record_traffic("app_msg", 8);
+        assert_eq!(r.traffic("sync_msg"), TagTraffic { count: 2, bytes: 150 });
+        let rows: Vec<_> = r.traffic_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "app_msg");
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for `crossbeam`, covering the `channel` module surface
+//! this workspace uses (`unbounded`, `Sender`, `Receiver` with `send`,
+//! `recv`, `recv_timeout`, `try_recv`), implemented over `std::sync::mpsc`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    ///
+    /// Unlike `std::sync::mpsc`, crossbeam receivers are `Sync` and `Clone`
+    /// (multi-consumer); the stub provides that by serializing consumers
+    /// through a mutex. Each message still reaches exactly one consumer.
+    #[derive(Debug)]
+    pub struct Receiver<T>(std::sync::Arc<std::sync::Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(std::sync::Arc::new(std::sync::Mutex::new(rx))))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; errors if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Block until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner().recv()
+        }
+
+        /// Block with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner().recv_timeout(timeout)
+        }
+
+        /// Non-blocking poll.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner().try_recv()
+        }
+
+        /// Drain all currently queued messages into a vector.
+        pub fn try_iter(&self) -> std::vec::IntoIter<T> {
+            let guard = self.inner();
+            let mut drained = Vec::new();
+            while let Ok(v) = guard.try_recv() {
+                drained.push(v);
+            }
+            drained.into_iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.clone().send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            ));
+        }
+    }
+}

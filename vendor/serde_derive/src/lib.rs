@@ -1,0 +1,537 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! stub `serde` crate's value model (`Serialize::to_value` /
+//! `Deserialize::from_value`). The input grammar is deliberately restricted
+//! to what this workspace actually derives on: **non-generic** structs and
+//! enums, with the container/field attributes `#[serde(transparent)]`,
+//! `#[serde(rename_all = "snake_case")]`, and `#[serde(default)]`.
+//! Anything outside that grammar panics with a clear compile-time message
+//! rather than silently mis-serializing.
+//!
+//! The parser walks the raw `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline); generated impls are assembled as strings
+//! and re-parsed, using fully qualified `::serde::` / `::std::` paths.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    snake_case: bool,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct SerdeAttrs {
+    transparent: bool,
+    snake_case: bool,
+    default: bool,
+}
+
+/// Consume leading attributes (`#[...]`), returning any serde flags seen.
+fn take_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> SerdeAttrs {
+    let mut out = SerdeAttrs { transparent: false, snake_case: false, default: false };
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                let group = match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    other => panic!("serde stub derive: malformed attribute near {other:?}"),
+                };
+                let mut inner = group.stream().into_iter();
+                let is_serde = matches!(
+                    inner.next(),
+                    Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+                );
+                if !is_serde {
+                    continue; // doc comment or unrelated attribute
+                }
+                let args = match inner.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                    other => panic!("serde stub derive: malformed #[serde] attribute near {other:?}"),
+                };
+                let words: Vec<String> =
+                    args.stream().into_iter().map(|t| t.to_string()).collect();
+                let mut i = 0;
+                while i < words.len() {
+                    match words[i].as_str() {
+                        "transparent" => out.transparent = true,
+                        "default" => out.default = true,
+                        "rename_all" => {
+                            let val = words.get(i + 2).map(String::as_str);
+                            if val != Some("\"snake_case\"") {
+                                panic!(
+                                    "serde stub derive: only rename_all = \"snake_case\" is supported, got {val:?}"
+                                );
+                            }
+                            out.snake_case = true;
+                            i += 2;
+                        }
+                        "," => {}
+                        other => panic!("serde stub derive: unsupported serde attribute `{other}`"),
+                    }
+                    i += 1;
+                }
+            }
+            _ => return out,
+        }
+    }
+}
+
+/// Skip a visibility qualifier if present (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        toks.next();
+        if matches!(
+            toks.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            toks.next();
+        }
+    }
+}
+
+/// Skip a type expression: everything up to a top-level `,` (angle-bracket
+/// aware, since `<...>` is not a token group). Consumes the comma if present.
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                toks.next();
+                return;
+            }
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut toks);
+        skip_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stub derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut toks);
+        fields.push(Field { name, default: attrs.default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(ref p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(ref p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                continue;
+            }
+            _ => {}
+        }
+        any = true;
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stub derive: expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                toks.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Consume a trailing comma, if any.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    let attrs = take_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            other => panic!("serde stub derive: malformed struct `{name}` near {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: malformed enum `{name}` near {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    };
+    Item { name, transparent: attrs.transparent, snake_case: attrs.snake_case, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl Item {
+    fn field_key(&self, field: &str) -> String {
+        if self.snake_case && matches!(self.kind, Kind::Struct(_)) {
+            snake_case(field)
+        } else {
+            field.to_string()
+        }
+    }
+
+    fn variant_key(&self, variant: &str) -> String {
+        if self.snake_case {
+            snake_case(variant)
+        } else {
+            variant.to_string()
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Shape::Tuple(1)) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) if item.transparent => {
+            assert_eq!(fields.len(), 1, "transparent struct must have exactly one field");
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{}\"), ::serde::Serialize::to_value(&self.{}))",
+                        item.field_key(&f.name),
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let key = item.variant_key(&v.name);
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{key}\")),",
+                            v = v.name
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{v}(__f0) => ::serde::Value::Object(vec![(::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value(__f0))]),",
+                            v = v.name
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({binds}) => ::serde::Value::Object(vec![(::std::string::String::from(\"{key}\"), ::serde::Value::Array(vec![{elems}]))]),",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                elems = elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{}\"), ::serde::Serialize::to_value({}))",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![(::std::string::String::from(\"{key}\"), ::serde::Value::Object(vec![{pairs}]))]),",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_ctor(item: &Item, path: &str, fields: &[Field], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let key = item.field_key(&f.name);
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::Error::missing(\"{key}\"))"
+                )
+            };
+            format!(
+                "{fname}: match ::serde::__find({source}, \"{key}\") {{\n\
+                     ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                 }}",
+                fname = f.name
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(",\n"))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Kind::Struct(Shape::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = match __v {{ ::serde::Value::Array(a) => a, other => return ::std::result::Result::Err(::serde::Error::expected(\"array\", other)) }};\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"wrong tuple arity\")); }}\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) if item.transparent => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {fname}: ::serde::Deserialize::from_value(__v)? }})",
+                fname = fields[0].name
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let ctor = gen_named_ctor(item, name, fields, "__pairs");
+            format!(
+                "let __pairs = match __v {{ ::serde::Value::Object(p) => p.as_slice(), other => return ::std::result::Result::Err(::serde::Error::expected(\"object\", other)) }};\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{v}),",
+                        key = item.variant_key(&v.name),
+                        v = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let key = item.variant_key(&v.name);
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}),",
+                            v = v.name
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),",
+                            v = v.name
+                        ),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{key}\" => {{\n\
+                                     let __items = match __inner {{ ::serde::Value::Array(a) => a, other => return ::std::result::Result::Err(::serde::Error::expected(\"array\", other)) }};\n\
+                                     if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"wrong variant arity\")); }}\n\
+                                     ::std::result::Result::Ok({name}::{v}({elems}))\n\
+                                 }}",
+                                v = v.name,
+                                elems = elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let ctor = gen_named_ctor(
+                                item,
+                                &format!("{name}::{}", v.name),
+                                fields,
+                                "__fields",
+                            );
+                            format!(
+                                "\"{key}\" => {{\n\
+                                     let __fields = match __inner {{ ::serde::Value::Object(p) => p.as_slice(), other => return ::std::result::Result::Err(::serde::Error::expected(\"object\", other)) }};\n\
+                                     ::std::result::Result::Ok({ctor})\n\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                     return match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown variant `{{__other}}`\"))),\n\
+                     }};\n\
+                 }}\n\
+                 let __pairs = match __v {{ ::serde::Value::Object(p) => p, other => return ::std::result::Result::Err(::serde::Error::expected(\"string or object\", other)) }};\n\
+                 if __pairs.len() != 1 {{ return ::std::result::Result::Err(::serde::Error::msg(\"expected single-key enum object\")); }}\n\
+                 let (__k, __inner) = &__pairs[0];\n\
+                 match __k.as_str() {{\n\
+                     {data}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown variant `{{__other}}`\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derive `serde::Serialize` via the stub value model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stub derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` via the stub value model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stub derive: generated Deserialize impl failed to parse")
+}
