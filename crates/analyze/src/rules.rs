@@ -1,0 +1,467 @@
+//! The protocol rules: D1 determinism, P1 panic-freedom, I1 IOA
+//! discipline, C1 spec coverage.
+//!
+//! Each rule is phrased over the code mask of [`crate::SourceFile`]s and
+//! produces [`Finding`]s carrying the rule id, `file:line`, a message,
+//! and a fix hint. Waivers are applied by the caller
+//! ([`crate::analyze_root`]), not here.
+
+use crate::scan::{find_word, tokens, Tok};
+use crate::{FileKind, Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose protocol state must iterate deterministically (D1).
+pub const D1_CRATES: [&str; 4] = ["core", "membership", "types", "spec"];
+/// Crates whose non-test code must be panic-free (P1).
+pub const P1_CRATES: [&str; 4] = ["core", "membership", "net", "spec"];
+/// Crates holding precondition/effect transition functions (I1).
+pub const I1_CRATES: [&str; 2] = ["core", "spec"];
+
+/// All rule identifiers the analyzer knows, with one-line descriptions.
+pub const RULES: [(&str, &str); 5] = [
+    ("D1", "determinism: no HashMap/HashSet or ambient time/randomness in protocol crates"),
+    ("P1", "panic-freedom: no unwrap/expect/panic!/unreachable!/indexing in protocol code"),
+    ("I1", "IOA discipline: precondition/effect pairing and ObsEvent coverage"),
+    ("C1", "spec coverage: every spec action exercised by a trace-checker test"),
+    ("W0", "waiver hygiene: vsgm-allow comments must carry a reason"),
+];
+
+fn finding(rule: &str, file: &SourceFile, line: usize, message: String, hint: &str) -> Finding {
+    Finding {
+        rule: rule.to_string(),
+        file: file.rel.clone(),
+        line,
+        message,
+        hint: hint.to_string(),
+    }
+}
+
+fn in_crate_src(file: &SourceFile, crates: &[&str]) -> bool {
+    file.kind == FileKind::Src
+        && file.crate_name.as_deref().is_some_and(|c| crates.contains(&c))
+}
+
+/// Non-test mask lines of a file, as (1-based line, text) pairs.
+fn code_lines(file: &SourceFile) -> impl Iterator<Item = (usize, &String)> {
+    file.scanned
+        .mask
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| !file.scanned.test_line.get(*k).copied().unwrap_or(false))
+        .map(|(k, l)| (k + 1, l))
+}
+
+// ---------------------------------------------------------------- D1 ---
+
+const D1_HASH_HINT: &str = "use BTreeMap/BTreeSet so iteration (and thus replay) order is \
+     deterministic, or waive with `// vsgm-allow(D1): <why this is never iterated>`";
+const D1_TIME_HINT: &str = "deterministic crates take time/randomness as explicit inputs \
+     (vsgm-ioa SimTime / seeded rng); real-transport drivers may waive with vsgm-allow(D1)";
+
+/// D1 — determinism: no `HashMap`/`HashSet` and no ambient time or
+/// randomness in the deterministic protocol crates.
+pub fn d1(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| in_crate_src(f, &D1_CRATES)) {
+        let krate = f.crate_name.as_deref().unwrap_or("?");
+        for (line, text) in code_lines(f) {
+            for coll in ["HashMap", "HashSet"] {
+                if !find_word(text, coll).is_empty() {
+                    out.push(finding(
+                        "D1",
+                        f,
+                        line,
+                        format!("{coll} in deterministic protocol crate `{krate}`"),
+                        D1_HASH_HINT,
+                    ));
+                }
+            }
+            for src in ["Instant::now", "SystemTime::now", "thread_rng", "from_entropy", "rand::random"]
+            {
+                if !find_word(text, src).is_empty() {
+                    out.push(finding(
+                        "D1",
+                        f,
+                        line,
+                        format!("ambient nondeterminism `{src}` in deterministic crate `{krate}`"),
+                        D1_TIME_HINT,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- P1 ---
+
+const P1_UNWRAP_HINT: &str =
+    "convert to a typed error, or prove the invariant and use an invariant-carrying \
+     expect with a `// vsgm-allow(P1): <invariant>` waiver";
+const P1_INDEX_HINT: &str = "use .get()/.get_mut() and handle the None case explicitly";
+
+/// P1 — panic-freedom: no `unwrap`/`expect`/panicking macros and no
+/// slice/array indexing in non-test protocol code.
+pub fn p1(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| in_crate_src(f, &P1_CRATES)) {
+        for (line, text) in code_lines(f) {
+            for pat in [".unwrap(", ".expect("] {
+                for _ in find_word(text, pat) {
+                    let what = pat.get(1..pat.len() - 1).unwrap_or(pat);
+                    out.push(finding(
+                        "P1",
+                        f,
+                        line,
+                        format!("{what}() in protocol code"),
+                        P1_UNWRAP_HINT,
+                    ));
+                }
+            }
+            for mac in ["panic", "unreachable", "todo", "unimplemented", "dbg"] {
+                for at in find_word(text, mac) {
+                    let bang = text.get(at + mac.len()..).and_then(|s| s.chars().next());
+                    if bang == Some('!') {
+                        out.push(finding(
+                            "P1",
+                            f,
+                            line,
+                            format!("{mac}! in protocol code"),
+                            P1_UNWRAP_HINT,
+                        ));
+                    }
+                }
+            }
+            for at in indexing_sites(text) {
+                let _ = at;
+                out.push(finding(
+                    "P1",
+                    f,
+                    line,
+                    "slice/array indexing in protocol code".to_string(),
+                    P1_INDEX_HINT,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Byte offsets of `[` tokens that open an indexing expression: the
+/// character immediately before is an identifier character, `)`, `]`, or
+/// `?` (ruling out attributes `#[…]`, macros `vec![…]`, array types and
+/// literals).
+fn indexing_sites(line: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut prev = ' ';
+    for (at, c) in line.char_indices() {
+        if c == '['
+            && (prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']' || prev == '?')
+        {
+            out.push(at);
+        }
+        prev = c;
+    }
+    out
+}
+
+// ---------------------------------------------------------------- I1 ---
+
+const I1_PAIR_HINT: &str = "IOA discipline (Figs. 9-11): every transition effect pairs with an \
+     explicit precondition function (`*_pre` or `*_restriction`) and vice versa";
+const I1_OBS_HINT: &str = "keep the observability vocabulary total: list the variant in \
+     ObsEvent::ALL, match it in recorder.rs, emit it from the instrumented protocol \
+     layers, and cover it with a journal/ioa test";
+
+/// I1 — IOA discipline: (a) precondition/effect pairing of transition
+/// functions in the algorithm crates; (b) the `vsgm-obs` event vocabulary
+/// is total — every `ObsEvent` variant is listed in `ALL`, matched in
+/// `recorder.rs`, emitted by instrumented code, and covered by a test.
+pub fn i1(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(i1_pairing(files));
+    out.extend(i1_obs(files));
+    out
+}
+
+fn i1_pairing(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for krate in I1_CRATES {
+        // name -> (file index, line) of every non-test `fn` in the crate.
+        let mut fns: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            if f.kind != FileKind::Src || f.crate_name.as_deref() != Some(krate) {
+                continue;
+            }
+            let toks = tokens(&f.scanned.mask);
+            for pair in toks.windows(2) {
+                if let [a, b] = pair {
+                    let in_test = f
+                        .scanned
+                        .test_line
+                        .get(a.line.saturating_sub(1))
+                        .copied()
+                        .unwrap_or(false);
+                    if !in_test && a.ident && a.text == "fn" && b.ident {
+                        fns.entry(b.text.clone()).or_insert((fi, b.line));
+                    }
+                }
+            }
+        }
+        let base_of = |name: &str, suffix: &str| {
+            name.strip_suffix(suffix).map(str::to_string)
+        };
+        let pres: BTreeSet<String> = fns
+            .keys()
+            .filter_map(|n| {
+                base_of(n, "_pre")
+                    .or_else(|| base_of(n, "_restriction"))
+                    .or_else(|| base_of(n, "_restriction_with"))
+            })
+            .collect();
+        let effs: BTreeSet<String> =
+            fns.keys().filter_map(|n| base_of(n, "_eff")).collect();
+        for (name, (fi, line)) in &fns {
+            if let Some(base) = base_of(name, "_eff") {
+                if !pres.contains(&base) {
+                    if let Some(f) = files.get(*fi) {
+                        out.push(finding(
+                            "I1",
+                            f,
+                            *line,
+                            format!(
+                                "transition effect `{name}` has no matching precondition \
+                                 (`{base}_pre` / `{base}_restriction`) in crate `{krate}`"
+                            ),
+                            I1_PAIR_HINT,
+                        ));
+                    }
+                }
+            } else if let Some(base) = base_of(name, "_pre") {
+                if !effs.contains(&base) {
+                    if let Some(f) = files.get(*fi) {
+                        out.push(finding(
+                            "I1",
+                            f,
+                            *line,
+                            format!(
+                                "precondition `{name}` has no matching effect `{base}_eff` \
+                                 in crate `{krate}`"
+                            ),
+                            I1_PAIR_HINT,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `(enum-variant name, line)` pairs of `pub enum <name>` in the file.
+pub fn enum_variants(file: &SourceFile, enum_name: &str) -> Vec<(String, usize)> {
+    let toks = tokens(&file.scanned.mask);
+    let mut i = 0usize;
+    // Find `enum <enum_name> {`.
+    while i < toks.len() {
+        let is_start = toks.get(i).is_some_and(|t| t.ident && t.text == "enum")
+            && toks.get(i + 1).is_some_and(|t| t.ident && t.text == enum_name)
+            && toks.get(i + 2).is_some_and(|t| t.text == "{");
+        if is_start {
+            break;
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut expect_variant = false;
+    let mut j = i + 2;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "{" | "(" | "[" => {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if depth == 1 => expect_variant = true,
+            "#" if depth == 1 => {} // variant attribute: idents inside are at depth 2
+            _ => {
+                if depth == 1 && expect_variant && t.ident {
+                    out.push((t.text.clone(), t.line));
+                    expect_variant = false;
+                }
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// All `Prefix::Variant` references in a token stream, with the line of
+/// each and whether that line is test code.
+fn path_refs(toks: &[Tok], prefix: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for w in toks.windows(4) {
+        if let [a, c1, c2, b] = w {
+            if a.ident && a.text == prefix && c1.text == ":" && c2.text == ":" && b.ident {
+                out.push((b.text.clone(), b.line));
+            }
+        }
+    }
+    out
+}
+
+fn is_test_at(f: &SourceFile, line: usize) -> bool {
+    f.kind == FileKind::TestsDir
+        || f.scanned.test_line.get(line.saturating_sub(1)).copied().unwrap_or(false)
+}
+
+fn i1_obs(files: &[SourceFile]) -> Vec<Finding> {
+    let Some((efi, event_file)) = files
+        .iter()
+        .enumerate()
+        .find(|(_, f)| f.crate_name.as_deref() == Some("obs") && f.rel.ends_with("src/event.rs"))
+    else {
+        return Vec::new();
+    };
+    let variants = enum_variants(event_file, "ObsEvent");
+    if variants.is_empty() {
+        return Vec::new();
+    }
+
+    // `ObsEvent::X` occurrences inside the `const ALL: ... = [...];`
+    // declaration of event.rs (everything from `const ALL` to the `;`
+    // that ends the item, so the type annotation's brackets don't
+    // confuse the span).
+    let etoks = tokens(&event_file.scanned.mask);
+    let mut in_all: BTreeSet<String> = BTreeSet::new();
+    let mut k = 0usize;
+    while k < etoks.len() {
+        let is_decl = etoks.get(k).is_some_and(|t| t.ident && t.text == "const")
+            && etoks.get(k + 1).is_some_and(|t| t.ident && t.text == "ALL");
+        if is_decl {
+            let mut depth = 0i64;
+            let mut j = k + 2;
+            let start = j;
+            while let Some(t) = etoks.get(j) {
+                match t.text.as_str() {
+                    "[" | "(" | "{" => depth += 1,
+                    "]" | ")" | "}" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let slice = etoks.get(start..j).unwrap_or(&[]);
+            for (v, _) in path_refs(slice, "ObsEvent") {
+                in_all.insert(v);
+            }
+        }
+        k += 1;
+    }
+
+    // Where each variant is referenced across the workspace.
+    let mut matched_in_recorder: BTreeSet<String> = BTreeSet::new();
+    let mut emitted: BTreeSet<String> = BTreeSet::new();
+    let mut tested: BTreeSet<String> = BTreeSet::new();
+    for (fi, f) in files.iter().enumerate() {
+        let toks = tokens(&f.scanned.mask);
+        for (v, line) in path_refs(&toks, "ObsEvent") {
+            if f.rel.ends_with("obs/src/recorder.rs") && !is_test_at(f, line) {
+                matched_in_recorder.insert(v.clone());
+            }
+            if is_test_at(f, line) {
+                tested.insert(v.clone());
+            } else if fi != efi
+                && f.kind == FileKind::Src
+                && f.crate_name.as_deref() != Some("obs")
+            {
+                emitted.insert(v);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (v, line) in &variants {
+        let mut missing = Vec::new();
+        if !in_all.contains(v) {
+            missing.push("not listed in ObsEvent::ALL");
+        }
+        if !matched_in_recorder.contains(v) {
+            missing.push("not matched in obs/src/recorder.rs");
+        }
+        if !emitted.contains(v) {
+            missing.push("never emitted by instrumented protocol code");
+        }
+        if !tested.contains(v) {
+            missing.push("not covered by any journal/ioa test");
+        }
+        if !missing.is_empty() {
+            out.push(finding(
+                "I1",
+                event_file,
+                *line,
+                format!("ObsEvent::{v}: {}", missing.join("; ")),
+                I1_OBS_HINT,
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- C1 ---
+
+const C1_HINT: &str = "add a trace-checker test feeding this action to the spec automaton \
+     (module test, crates/spec/tests, or the workspace tests/ suites)";
+
+/// C1 — spec coverage: every `Event::X` action a spec automaton in
+/// `crates/spec` matches must be exercised by at least one trace-checker
+/// test somewhere in the workspace.
+pub fn c1(files: &[SourceFile]) -> Vec<Finding> {
+    // The test corpus: Event::X references on test lines anywhere.
+    let mut tested: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        let toks = tokens(&f.scanned.mask);
+        for (v, line) in path_refs(&toks, "Event") {
+            if is_test_at(f, line) {
+                tested.insert(v);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for f in files {
+        if f.kind != FileKind::Src || f.crate_name.as_deref() != Some("spec") {
+            continue;
+        }
+        let toks = tokens(&f.scanned.mask);
+        // First non-test reference per variant in this module.
+        let mut first: BTreeMap<String, usize> = BTreeMap::new();
+        for (v, line) in path_refs(&toks, "Event") {
+            if !is_test_at(f, line) {
+                first.entry(v).or_insert(line);
+            }
+        }
+        for (v, line) in first {
+            if !tested.contains(&v) {
+                out.push(finding(
+                    "C1",
+                    f,
+                    line,
+                    format!("spec action `Event::{v}` is not exercised by any trace-checker test"),
+                    C1_HINT,
+                ));
+            }
+        }
+    }
+    out
+}

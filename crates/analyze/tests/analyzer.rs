@@ -1,0 +1,320 @@
+//! End-to-end analyzer tests: tempdir fixture workspaces seeded with one
+//! violation per rule, waiver-placement semantics, and the zero-exit
+//! guarantee on the real tree (which `scripts/check.sh` relies on).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use vsgm_analyze::analyze_root;
+
+/// Materializes a throwaway workspace under `CARGO_TARGET_TMPDIR` with
+/// the given `(relative path, contents)` files plus a root `Cargo.toml`.
+fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear stale fixture");
+    }
+    for (rel, content) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("create fixture dirs");
+        fs::write(&path, content).expect("write fixture file");
+    }
+    fs::create_dir_all(root.join("crates")).expect("create crates dir");
+    fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write root manifest");
+    root
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+// ---------------------------------------------------------------- D1 ---
+
+#[test]
+fn d1_flags_hash_collections_and_ambient_time() {
+    let root = fixture(
+        "d1-dirty",
+        &[(
+            "crates/core/src/lib.rs",
+            "use std::collections::HashMap;\n\
+             pub fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+        )],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    let hits: Vec<(&str, usize)> =
+        report.findings.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+    assert!(hits.contains(&("D1", 1)), "HashMap not flagged: {:?}", report.findings);
+    assert!(hits.contains(&("D1", 2)), "Instant::now not flagged: {:?}", report.findings);
+    let first = report.findings.first().expect("at least one finding");
+    assert_eq!(first.file, "crates/core/src/lib.rs");
+    assert!(!first.hint.is_empty(), "findings carry a fix hint");
+}
+
+#[test]
+fn d1_ignores_crates_outside_its_scope() {
+    let root = fixture(
+        "d1-out-of-scope",
+        &[("crates/harness/src/lib.rs", "use std::collections::HashMap;\n")],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    assert!(report.is_clean(), "harness is not a D1 crate: {:?}", report.findings);
+}
+
+// ---------------------------------------------------------------- P1 ---
+
+#[test]
+fn p1_flags_panics_and_indexing_but_not_test_code() {
+    let root = fixture(
+        "p1-dirty",
+        &[(
+            "crates/net/src/lib.rs",
+            "pub fn f(xs: &[u8]) -> u8 {\n\
+                 let v = Some(1u8).unwrap();\n\
+                 if xs.is_empty() { panic!(\"boom\") }\n\
+                 v + xs[0]\n\
+             }\n\
+             \n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() {\n\
+                     Some(2u8).unwrap();\n\
+                 }\n\
+             }\n",
+        )],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    assert!(report.findings.iter().all(|f| f.rule == "P1"), "{:?}", report.findings);
+    let lines: Vec<usize> = report.findings.iter().map(|f| f.line).collect();
+    assert!(lines.contains(&2), "unwrap not flagged: {:?}", report.findings);
+    assert!(lines.contains(&3), "panic! not flagged: {:?}", report.findings);
+    assert!(lines.contains(&4), "indexing not flagged: {:?}", report.findings);
+    assert!(!lines.contains(&11), "cfg(test) region must be exempt: {:?}", report.findings);
+}
+
+#[test]
+fn p1_ignores_tests_directories() {
+    let root = fixture(
+        "p1-tests-dir",
+        &[("crates/core/tests/endpoint.rs", "#[test]\nfn t() { Some(1).unwrap(); }\n")],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    assert!(report.is_clean(), "tests/ dirs are exempt: {:?}", report.findings);
+}
+
+// ---------------------------------------------------------------- I1 ---
+
+#[test]
+fn i1_flags_unpaired_transition_functions() {
+    let root = fixture(
+        "i1-pairing",
+        &[(
+            "crates/core/src/lib.rs",
+            "pub fn deliver_eff() {}\n\
+             pub fn send_pre() -> bool { true }\n\
+             pub fn install_pre() -> bool { true }\n\
+             pub fn install_eff() {}\n",
+        )],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("deliver_eff") && m.contains("no matching precondition")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("send_pre") && m.contains("no matching effect")),
+        "{msgs:?}"
+    );
+    assert!(
+        !msgs.iter().any(|m| m.contains("install")),
+        "paired install_pre/install_eff must not be flagged: {msgs:?}"
+    );
+}
+
+#[test]
+fn i1_flags_incomplete_obs_vocabulary() {
+    let root = fixture(
+        "i1-obs",
+        &[
+            (
+                "crates/obs/src/event.rs",
+                "pub enum ObsEvent { MsgSent, MsgDropped }\n\
+                 impl ObsEvent {\n\
+                     pub const ALL: [ObsEvent; 2] = [ObsEvent::MsgSent, ObsEvent::MsgDropped];\n\
+                 }\n",
+            ),
+            (
+                "crates/obs/src/recorder.rs",
+                "pub fn role(e: super::ObsEvent) {\n\
+                     match e { ObsEvent::MsgSent => {} _ => {} }\n\
+                 }\n",
+            ),
+            ("crates/core/src/lib.rs", "pub fn emit() { observe(ObsEvent::MsgSent); }\n"),
+            ("crates/core/tests/journal.rs", "#[test]\nfn t() { check(ObsEvent::MsgSent); }\n"),
+        ],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    // MsgSent is listed, matched, emitted, and tested: clean.
+    assert!(
+        !report.findings.iter().any(|f| f.message.contains("MsgSent:")),
+        "{:?}",
+        report.findings
+    );
+    // MsgDropped is in ALL but matched nowhere else: one finding naming
+    // each missing obligation.
+    let dropped: Vec<_> =
+        report.findings.iter().filter(|f| f.message.contains("MsgDropped")).collect();
+    assert_eq!(dropped.len(), 1, "{:?}", report.findings);
+    let d = dropped.first().expect("checked nonempty");
+    assert_eq!(d.rule, "I1");
+    assert_eq!(d.file, "crates/obs/src/event.rs");
+    assert!(d.message.contains("not matched in obs/src/recorder.rs"), "{}", d.message);
+    assert!(d.message.contains("never emitted"), "{}", d.message);
+    assert!(d.message.contains("not covered by any journal/ioa test"), "{}", d.message);
+}
+
+// ---------------------------------------------------------------- C1 ---
+
+#[test]
+fn c1_flags_spec_actions_without_trace_tests() {
+    let root = fixture(
+        "c1-dirty",
+        &[
+            (
+                "crates/spec/src/lib.rs",
+                "pub fn observe(e: &Event) {\n\
+                     match e { Event::Send => {} Event::Crash => {} _ => {} }\n\
+                 }\n",
+            ),
+            ("crates/spec/tests/trace.rs", "#[test]\nfn t() { drive(Event::Send); }\n"),
+        ],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    let c1: Vec<_> = report.findings.iter().filter(|f| f.rule == "C1").collect();
+    assert_eq!(c1.len(), 1, "{:?}", report.findings);
+    let f = c1.first().expect("checked nonempty");
+    assert!(f.message.contains("Event::Crash"), "{}", f.message);
+    assert!(!report.findings.iter().any(|f| f.message.contains("Event::Send")));
+}
+
+// ----------------------------------------------------------- waivers ---
+
+const HASHMAP_LINE: &str = "use std::collections::HashMap;";
+
+fn analyze_one(name: &str, core_lib: &str) -> vsgm_analyze::Report {
+    let root = fixture(name, &[("crates/core/src/lib.rs", core_lib)]);
+    analyze_root(&root, None).expect("analyze fixture")
+}
+
+#[test]
+fn waiver_on_the_finding_line_suppresses() {
+    let src = format!("{HASHMAP_LINE} // vsgm-allow(D1): lookup only, never iterated\n");
+    let report = analyze_one("waive-inline", &src);
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.waived, 1);
+}
+
+#[test]
+fn waiver_in_the_comment_block_above_suppresses() {
+    let src = format!(
+        "// This map is keyed by ProcessId but only ever probed.\n\
+         // vsgm-allow(D1): lookup only, never iterated\n\
+         {HASHMAP_LINE}\n"
+    );
+    let report = analyze_one("waive-above", &src);
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.waived, 1);
+}
+
+#[test]
+fn blank_line_breaks_the_waiver_chain() {
+    let src = format!("// vsgm-allow(D1): too far away\n\n{HASHMAP_LINE}\n");
+    let report = analyze_one("waive-gap", &src);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.waived, 0);
+}
+
+#[test]
+fn waiver_for_another_rule_does_not_suppress() {
+    let src = format!("{HASHMAP_LINE} // vsgm-allow(P1): names the wrong rule\n");
+    let report = analyze_one("waive-wrong-rule", &src);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings.first().map(|f| f.rule.as_str()), Some("D1"));
+}
+
+#[test]
+fn reasonless_waiver_is_ignored_and_reported_as_w0() {
+    let src = format!("{HASHMAP_LINE} // vsgm-allow(D1)\n");
+    let report = analyze_one("waive-no-reason", &src);
+    let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert!(rules.contains("D1"), "reasonless waiver must not suppress: {:?}", report.findings);
+    assert!(rules.contains("W0"), "reasonless waiver must be reported: {:?}", report.findings);
+    assert_eq!(report.waived, 0);
+}
+
+// ----------------------------------------------- rule selection & CLI ---
+
+#[test]
+fn rule_selection_runs_only_the_requested_rules() {
+    let root = fixture(
+        "select-rules",
+        &[(
+            "crates/core/src/lib.rs",
+            "use std::collections::HashMap;\npub fn f() { None::<u8>.unwrap(); }\n",
+        )],
+    );
+    let only_p1: BTreeSet<String> = ["P1".to_string()].into_iter().collect();
+    let report = analyze_root(&root, Some(&only_p1)).expect("analyze fixture");
+    assert!(report.findings.iter().all(|f| f.rule == "P1"), "{:?}", report.findings);
+    assert!(!report.findings.is_empty());
+}
+
+#[test]
+fn cli_exits_nonzero_on_findings_and_zero_on_the_real_tree() {
+    let bin = env!("CARGO_BIN_EXE_vsgm-analyze");
+    let dirty = fixture("cli-dirty", &[("crates/core/src/lib.rs", "use std::collections::HashMap;\n")]);
+
+    let out = std::process::Command::new(bin)
+        .args(["--root", dirty.to_str().expect("utf-8 path")])
+        .output()
+        .expect("run vsgm-analyze");
+    assert_eq!(out.status.code(), Some(1), "dirty tree must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("D1") && text.contains("crates/core/src/lib.rs:1"), "{text}");
+
+    let repo = repo_root();
+    let out = std::process::Command::new(bin)
+        .args(["--root", repo.to_str().expect("utf-8 path"), "--format", "json"])
+        .output()
+        .expect("run vsgm-analyze");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the real tree must be clean: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let out = std::process::Command::new(bin)
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("run vsgm-analyze");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+}
+
+// -------------------------------------------------------- real tree ---
+
+/// The gate `scripts/check.sh` relies on: the workspace itself carries
+/// zero unwaived findings, and its waivers are each justified in-source.
+#[test]
+fn real_workspace_is_clean() {
+    let report = analyze_root(&repo_root(), None).expect("analyze the workspace");
+    assert!(
+        report.is_clean(),
+        "the workspace must stay analyzer-clean:\n{:#?}",
+        report.findings
+    );
+    assert!(report.files_scanned > 50, "walked the whole tree");
+    assert!(report.waived >= 1, "the known transport/oracle waivers are counted");
+}

@@ -287,8 +287,7 @@ impl BaselineEndpoint {
             return (effects, true);
         }
         // app multicast
-        if wv::send_app_msg_pre(&self.st).is_some() {
-            let (set, msg) = wv::send_app_msg_eff(&mut self.st);
+        if let Some((set, msg)) = wv::send_app_msg_eff(&mut self.st) {
             if !set.is_empty() {
                 effects.push(Effect::NetSend { to: set, msg });
             }

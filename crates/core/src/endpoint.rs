@@ -528,15 +528,17 @@ impl Endpoint {
                 }
             }
             Action::SendSyncMsg => {
-                self.stats.syncs_sent += 1;
-                rec.counter(names::EP_SYNCS_SENT, 1);
-                rec.event(self.st.pid, self.current_cid(), ObsEvent::SyncSent);
-                let plan = vs::send_sync_eff(
+                let Some(plan) = vs::send_sync_eff(
                     &mut self.st,
                     self.cfg.slim_sync,
                     self.cfg.aggregation,
                     self.cfg.implicit_cuts,
-                );
+                ) else {
+                    return Vec::new(); // enabled_actions() no longer offers this
+                };
+                self.stats.syncs_sent += 1;
+                rec.counter(names::EP_SYNCS_SENT, 1);
+                rec.event(self.st.pid, self.current_cid(), ObsEvent::SyncSent);
                 let pid = self.st.pid;
                 let latest = self.st.latest_sync_cid.entry(pid).or_insert(plan.cid);
                 if plan.cid > *latest {
@@ -555,7 +557,9 @@ impl Endpoint {
                 vec![Effect::Block]
             }
             Action::FlushAgg => {
-                let (_, sc_set) = self.st.start_change.clone().expect("enabled");
+                let Some((_, sc_set)) = self.st.start_change.clone() else {
+                    return Vec::new(); // enabled_actions() no longer offers this
+                };
                 let entries: Vec<(ProcessId, SyncPayload)> = self
                     .st
                     .agg_buffer
@@ -581,10 +585,12 @@ impl Endpoint {
                 }
             }
             Action::SendAppMsg => {
+                let Some((set, msg)) = wv::send_app_msg_eff(&mut self.st) else {
+                    return Vec::new(); // enabled_actions() no longer offers this
+                };
                 self.stats.msgs_sent += 1;
                 rec.counter(names::EP_MSGS_SENT, 1);
                 rec.event(self.st.pid, None, ObsEvent::MsgSent);
-                let (set, msg) = wv::send_app_msg_eff(&mut self.st);
                 if set.is_empty() {
                     Vec::new()
                 } else {
@@ -592,14 +598,19 @@ impl Endpoint {
                 }
             }
             Action::DeliverApp(q) => {
+                let Some(m) = wv::deliver_pre(&self.st, *q) else {
+                    return Vec::new(); // enabled_actions() no longer offers this
+                };
                 self.stats.msgs_delivered += 1;
                 rec.counter(names::EP_MSGS_DELIVERED, 1);
                 rec.event(self.st.pid, None, ObsEvent::MsgDelivered);
-                let m = wv::deliver_pre(&self.st, *q).expect("fire called while enabled");
                 wv::deliver_eff(&mut self.st, *q);
                 vec![Effect::DeliverApp { from: *q, msg: m }]
             }
             Action::DeliverView => {
+                let Some(t) = self.view_enabled() else {
+                    return Vec::new(); // enabled_actions() no longer offers this
+                };
                 self.stats.views_installed += 1;
                 rec.counter(names::EP_VIEWS_INSTALLED, 1);
                 // The span being closed is the view change in progress;
@@ -610,7 +621,6 @@ impl Endpoint {
                     rec.event(self.st.pid, span_cid, ObsEvent::CutAgreed);
                 }
                 rec.event(self.st.pid, span_cid, ObsEvent::ViewInstalled);
-                let t = self.view_enabled().expect("fire called while enabled");
                 let previous = self.st.current_view.clone();
                 wv::view_eff(&mut self.st);
                 if self.cfg.stack.has_vs() {
@@ -628,15 +638,14 @@ impl Endpoint {
                 }]
             }
             Action::Forward(cmd) => {
+                let Some(msg) =
+                    self.st.buf(cmd.origin, &cmd.view).and_then(|s| s.get(cmd.index)).cloned()
+                else {
+                    return Vec::new(); // enabled_actions() no longer offers this
+                };
                 self.stats.forwards_sent += 1;
                 rec.counter(names::EP_FORWARDS_SENT, 1);
                 rec.event(self.st.pid, self.current_cid(), ObsEvent::ForwardSent);
-                let msg = self
-                    .st
-                    .buf(cmd.origin, &cmd.view)
-                    .and_then(|s| s.get(cmd.index))
-                    .expect("fire called while enabled")
-                    .clone();
                 for dest in &cmd.to {
                     self.st.forwarded.insert((*dest, cmd.origin, cmd.view.clone(), cmd.index));
                 }

@@ -17,7 +17,7 @@
 //!   the unique forwarder. Usually one copy per missing message.
 
 use crate::state::State;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vsgm_types::{Cut, MsgIndex, ProcSet, ProcessId, View, ViewId};
 
 /// One forwarding obligation: send `msgs[origin][view][index]` to `to`.
@@ -68,8 +68,8 @@ impl ForwardStrategyKind {
 
 /// The latest (max-cid) non-slim sync record each process has produced
 /// per view, from this end-point's perspective.
-fn latest_syncs_per_view(st: &State) -> HashMap<(ProcessId, View), Cut> {
-    let mut best: HashMap<(ProcessId, View), (vsgm_types::StartChangeId, Cut)> = HashMap::new();
+fn latest_syncs_per_view(st: &State) -> BTreeMap<(ProcessId, View), Cut> {
+    let mut best: BTreeMap<(ProcessId, View), (vsgm_types::StartChangeId, Cut)> = BTreeMap::new();
     for ((q, cid), rec) in &st.sync_msgs {
         let Some(v) = &rec.view else { continue };
         let key = (*q, v.clone());
@@ -230,7 +230,7 @@ mod tests {
         // Change starts: {1,2} (p3 partitioned away).
         vs::on_start_change(&mut st, StartChangeId::new(2), set(&[1, 2]));
         // Own sync commits to both of p3's messages.
-        let plan = vs::send_sync_eff(&mut st, false, false, false);
+        let plan = vs::send_sync_eff(&mut st, false, false, false).expect("sync enabled");
         assert_eq!(plan.record.cut.get(p(3)), 2);
         st
     }
@@ -335,7 +335,7 @@ mod tests {
         wv::on_view_msg(&mut st, p(3), v.clone());
         wv::on_app_msg(&mut st, p(3), AppMsg::from("m1"));
         vs::on_start_change(&mut st, StartChangeId::new(4), set(&[1, 2]));
-        let _ = vs::send_sync_eff(&mut st, false, false, false);
+        let _ = vs::send_sync_eff(&mut st, false, false, false).expect("sync enabled");
         // p1 also committed to message 1 (and misses nothing).
         let mut cut = Cut::new();
         cut.set(p(3), 1);

@@ -1,6 +1,6 @@
 //! End-point state: the union of the state variables of Figs. 9–11.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use vsgm_types::{AppMsg, Cut, MsgIndex, ProcSet, ProcessId, StartChangeId, View};
 
 /// A 1-indexed, possibly sparse sequence of application messages — one
@@ -20,16 +20,20 @@ impl MsgSeq {
         self.slots.get((i - 1) as usize).and_then(Option::as_ref)
     }
 
-    /// Stores a message at 1-based index `i`, growing with gaps as needed.
-    /// Idempotent for equal content (forwarded copies of the same
-    /// original are identical — Invariant 6.6).
+    /// Stores a message at 1-based index `i`, growing with gaps as needed;
+    /// index 0 is outside the sequence and is ignored. Idempotent for
+    /// equal content (forwarded copies of the same original are
+    /// identical — Invariant 6.6).
     pub fn set(&mut self, i: MsgIndex, m: AppMsg) {
-        assert!(i >= 1, "MsgSeq is 1-indexed");
-        let idx = (i - 1) as usize;
+        let Some(idx) = (i as usize).checked_sub(1) else {
+            return;
+        };
         if self.slots.len() <= idx {
             self.slots.resize(idx + 1, None);
         }
-        self.slots[idx] = Some(m);
+        if let Some(slot) = self.slots.get_mut(idx) {
+            *slot = Some(m);
+        }
     }
 
     /// Appends at the next index (original sends from the local client).
@@ -90,21 +94,21 @@ pub struct State {
 
     // ----- WV_RFIFO_p (Fig. 9) -----
     /// `msgs[q][v]`: per-sender, per-view message buffers.
-    pub msgs: HashMap<(ProcessId, View), MsgSeq>,
+    pub msgs: BTreeMap<(ProcessId, View), MsgSeq>,
     /// Index of the last own message multicast via `CO_RFIFO`.
     pub last_sent: MsgIndex,
     /// `last_rcvd[q]`: last original-stream index received from `q`.
-    pub last_rcvd: HashMap<ProcessId, MsgIndex>,
+    pub last_rcvd: BTreeMap<ProcessId, MsgIndex>,
     /// `last_dlvrd[q]`: last index delivered to the application from `q`
     /// in the current view.
-    pub last_dlvrd: HashMap<ProcessId, MsgIndex>,
+    pub last_dlvrd: BTreeMap<ProcessId, MsgIndex>,
     /// The view last delivered to the application.
     pub current_view: View,
     /// The view last received from the membership service.
     pub mbrshp_view: View,
     /// `view_msg[q]`: the view conveyed by the latest `view_msg` from `q`
     /// (`view_msg[pid]` = the last view *we* announced).
-    pub view_msg: HashMap<ProcessId, View>,
+    pub view_msg: BTreeMap<ProcessId, View>,
     /// Peers we asked `CO_RFIFO` to keep reliable channels to.
     pub reliable_set: ProcSet,
 
@@ -112,12 +116,12 @@ pub struct State {
     /// The pending `start_change`, if a view change is in progress.
     pub start_change: Option<(StartChangeId, ProcSet)>,
     /// `sync_msg[q][cid]` cells.
-    pub sync_msgs: HashMap<(ProcessId, StartChangeId), SyncRecord>,
+    pub sync_msgs: BTreeMap<(ProcessId, StartChangeId), SyncRecord>,
     /// Largest sync cid received from each peer (used by the eager
     /// forwarding strategy to find the peer's freshest cut).
-    pub latest_sync_cid: HashMap<ProcessId, StartChangeId>,
+    pub latest_sync_cid: BTreeMap<ProcessId, StartChangeId>,
     /// `(dest, origin, view, index)` tuples already forwarded.
-    pub forwarded: HashSet<(ProcessId, ProcessId, View, MsgIndex)>,
+    pub forwarded: BTreeSet<(ProcessId, ProcessId, View, MsgIndex)>,
 
     // ----- GCS_p extension (Fig. 11) -----
     /// Block-handshake status with the local application.
@@ -148,18 +152,18 @@ impl State {
         let initial = View::initial(pid);
         State {
             pid,
-            msgs: HashMap::new(),
+            msgs: BTreeMap::new(),
             last_sent: 0,
-            last_rcvd: HashMap::new(),
-            last_dlvrd: HashMap::new(),
+            last_rcvd: BTreeMap::new(),
+            last_dlvrd: BTreeMap::new(),
             current_view: initial.clone(),
             mbrshp_view: initial,
-            view_msg: HashMap::new(),
+            view_msg: BTreeMap::new(),
             reliable_set: [pid].into_iter().collect(),
             start_change: None,
-            sync_msgs: HashMap::new(),
-            latest_sync_cid: HashMap::new(),
-            forwarded: HashSet::new(),
+            sync_msgs: BTreeMap::new(),
+            latest_sync_cid: BTreeMap::new(),
+            forwarded: BTreeSet::new(),
             block_status: BlockStatus::Unblocked,
             agg_buffer: BTreeMap::new(),
             agg_flushed: false,
@@ -287,9 +291,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "1-indexed")]
-    fn msg_seq_rejects_index_zero() {
-        MsgSeq::default().set(0, AppMsg::from("x"));
+    fn msg_seq_ignores_index_zero() {
+        let mut s = MsgSeq::default();
+        s.set(0, AppMsg::from("x"));
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.last_index(), 0);
+        assert_eq!(s.longest_prefix(), 0);
     }
 
     #[test]

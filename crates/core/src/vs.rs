@@ -102,13 +102,15 @@ pub struct SyncSendPlan {
     pub record: SyncRecord,
 }
 
-/// `co_rfifo.send_p(set, tag=sync_msg, cid, v, cut)` effect.
-///
-/// # Panics
-///
-/// Panics if called while [`send_sync_pre`] is false.
-pub fn send_sync_eff(st: &mut State, slim: bool, aggregation: bool, implicit_cuts: bool) -> SyncSendPlan {
-    let (cid, sc_set) = st.start_change.clone().expect("fire called while enabled");
+/// `co_rfifo.send_p(set, tag=sync_msg, cid, v, cut)` effect. `None` when
+/// no change is in progress (the action is not enabled).
+pub fn send_sync_eff(
+    st: &mut State,
+    slim: bool,
+    aggregation: bool,
+    implicit_cuts: bool,
+) -> Option<SyncSendPlan> {
+    let (cid, sc_set) = st.start_change.clone()?;
     let cv = st.current_view.clone();
     let cut = st.commit_cut();
     let record =
@@ -128,11 +130,13 @@ pub fn send_sync_eff(st: &mut State, slim: bool, aggregation: bool, implicit_cut
     if aggregation {
         // §9: route through the deterministic leader; the leader buffers
         // its own contribution and batches everything (endpoint flushes).
-        let ldr = leader(&sc_set).expect("start_change set includes self");
-        if ldr == st.pid {
-            st.agg_buffer.insert(st.pid, (cid, record.clone()));
-        } else {
-            sends.push(([ldr].into_iter().collect(), NetMsg::Sync(full)));
+        // The start_change set always includes self, so a leader exists.
+        if let Some(ldr) = leader(&sc_set) {
+            if ldr == st.pid {
+                st.agg_buffer.insert(st.pid, (cid, record.clone()));
+            } else {
+                sends.push(([ldr].into_iter().collect(), NetMsg::Sync(full)));
+            }
         }
     } else if slim {
         // §5.2.4: peers outside our current view cannot have us in their
@@ -160,7 +164,7 @@ pub fn send_sync_eff(st: &mut State, slim: bool, aggregation: bool, implicit_cut
             sends.push((dests, NetMsg::Sync(full)));
         }
     }
-    SyncSendPlan { sends, cid, record }
+    Some(SyncSendPlan { sends, cid, record })
 }
 
 /// The agreed post-view delivery bound for messages from `q`, computed
@@ -246,10 +250,10 @@ pub fn view_restriction_with(st: &State, implicit_cuts: bool) -> Option<ProcSet>
     }
     // All required sync messages present?
     for q in v.intersection(&st.current_view) {
-        let q_cid = v.start_id(q).expect("member of v");
+        let q_cid = v.start_id(q)?;
         st.sync(q, q_cid)?;
     }
-    let t = st.transitional_set().expect("syncs present");
+    let t = st.transitional_set()?;
     // Agreed-cut equality.
     for q in st.current_view.members() {
         if st.dlvrd(*q) != agreed_bound(st, *q, implicit_cuts) {
@@ -320,7 +324,7 @@ mod tests {
         assert!(!send_sync_pre(&st, false), "reliable set does not cover the change set yet");
         st.reliable_set = set(&[1, 2]);
         assert!(send_sync_pre(&st, false));
-        let plan = send_sync_eff(&mut st, false, false, false);
+        let plan = send_sync_eff(&mut st, false, false, false).expect("sync enabled");
         assert_eq!(plan.sends.len(), 1);
         assert_eq!(plan.sends[0].0, set(&[2]));
         // Own sync stored: the action disables itself.
@@ -336,7 +340,7 @@ mod tests {
         wv::on_app_msg(&mut st, p(2), AppMsg::from("a"));
         wv::on_app_msg(&mut st, p(2), AppMsg::from("b"));
         wv::on_app_send(&mut st, AppMsg::from("own"));
-        let plan = send_sync_eff(&mut st, false, false, false);
+        let plan = send_sync_eff(&mut st, false, false, false).expect("sync enabled");
         assert_eq!(plan.record.cut.get(p(2)), 2);
         assert_eq!(plan.record.cut.get(p(1)), 1);
     }
@@ -347,7 +351,7 @@ mod tests {
         // Change set includes p3, which is outside the current view.
         on_start_change(&mut st, StartChangeId::new(3), set(&[1, 2, 3]));
         st.reliable_set = set(&[1, 2, 3]);
-        let plan = send_sync_eff(&mut st, true, false, false);
+        let plan = send_sync_eff(&mut st, true, false, false).expect("sync enabled");
         assert_eq!(plan.sends.len(), 2);
         let full = &plan.sends[0];
         let slim = &plan.sends[1];
@@ -368,7 +372,7 @@ mod tests {
         let mut st = State::new(p(2));
         st.reliable_set = set(&[1, 2, 3]);
         on_start_change(&mut st, StartChangeId::new(1), set(&[1, 2, 3]));
-        let plan = send_sync_eff(&mut st, false, true, false);
+        let plan = send_sync_eff(&mut st, false, true, false).expect("sync enabled");
         assert_eq!(plan.sends.len(), 1);
         assert_eq!(plan.sends[0].0, set(&[1]), "non-leader sends only to the leader");
     }
@@ -378,7 +382,7 @@ mod tests {
         let mut st = State::new(p(1));
         st.reliable_set = set(&[1, 2, 3]);
         on_start_change(&mut st, StartChangeId::new(1), set(&[1, 2, 3]));
-        let plan = send_sync_eff(&mut st, false, true, false);
+        let plan = send_sync_eff(&mut st, false, true, false).expect("sync enabled");
         assert!(plan.sends.is_empty());
         assert!(st.agg_buffer.contains_key(&p(1)));
     }
@@ -395,7 +399,7 @@ mod tests {
         let cv = st.current_view.clone();
         wv::on_view_msg(&mut st, p(2), cv);
         wv::on_app_msg(&mut st, p(2), AppMsg::from("a"));
-        let _ = send_sync_eff(&mut st, false, false, false);
+        let _ = send_sync_eff(&mut st, false, false, false).expect("sync enabled");
         // mbrshp_view is still the old view: bound = own cut.
         assert_eq!(delivery_bound(&st, p(2)), Some(1));
         // A message arriving after the cut is not deliverable.
@@ -406,7 +410,7 @@ mod tests {
     #[test]
     fn delivery_bound_uses_max_cut_after_view() {
         let mut st = reconfiguring_state();
-        let _ = send_sync_eff(&mut st, false, false, false);
+        let _ = send_sync_eff(&mut st, false, false, false).expect("sync enabled");
         // The new membership view arrives (cids: p1→2, p2→5).
         st.mbrshp_view = view12(2, 2, 5);
         // p2's sync commits to 3 messages from p2.
@@ -428,7 +432,7 @@ mod tests {
     #[test]
     fn view_restriction_rejects_obsolete_views() {
         let mut st = reconfiguring_state();
-        let _ = send_sync_eff(&mut st, false, false, false);
+        let _ = send_sync_eff(&mut st, false, false, false).expect("sync enabled");
         // A view tagged with an OLD cid for p1 (cid 1, but the pending
         // change is cid 2): obsolete, must not be delivered.
         st.mbrshp_view = view12(2, 1, 1);
@@ -438,7 +442,7 @@ mod tests {
     #[test]
     fn view_restriction_full_flow() {
         let mut st = reconfiguring_state();
-        let _ = send_sync_eff(&mut st, false, false, false);
+        let _ = send_sync_eff(&mut st, false, false, false).expect("sync enabled");
         st.mbrshp_view = view12(2, 2, 7);
         // Missing p2's sync: not yet installable.
         assert_eq!(view_restriction(&st), None);
@@ -461,7 +465,7 @@ mod tests {
     #[test]
     fn joiner_from_other_view_excluded_from_t() {
         let mut st = reconfiguring_state();
-        let _ = send_sync_eff(&mut st, false, false, false);
+        let _ = send_sync_eff(&mut st, false, false, false).expect("sync enabled");
         // New view includes p3, whose sync shows a different previous view.
         let v = View::new(
             ViewId::new(2, 0),

@@ -106,13 +106,14 @@ pub fn send_app_msg_pre(st: &State) -> Option<AppMsg> {
         .cloned()
 }
 
-/// `co_rfifo.send_p(set, tag=app_msg, m)` effect.
-pub fn send_app_msg_eff(st: &mut State) -> (ProcSet, NetMsg) {
-    let m = send_app_msg_pre(st).expect("fire called while enabled");
+/// `co_rfifo.send_p(set, tag=app_msg, m)` effect. `None` when
+/// [`send_app_msg_pre`] is false (the action is not enabled).
+pub fn send_app_msg_eff(st: &mut State) -> Option<(ProcSet, NetMsg)> {
+    let m = send_app_msg_pre(st)?;
     let set: ProcSet =
         st.current_view.members().iter().copied().filter(|q| *q != st.pid).collect();
     st.last_sent += 1;
-    (set, NetMsg::App(m))
+    Some((set, NetMsg::App(m)))
 }
 
 /// The number of messages from `q` buffered gap-free for the current view
@@ -187,7 +188,7 @@ mod tests {
         assert!(matches!(msg, NetMsg::ViewMsg(v) if v == view12(1)));
         // Now app messages flow.
         assert_eq!(send_app_msg_pre(&st), Some(AppMsg::from("a")));
-        let (set, msg) = send_app_msg_eff(&mut st);
+        let (set, msg) = send_app_msg_eff(&mut st).expect("send enabled");
         assert_eq!(set, [p(2)].into_iter().collect());
         assert!(matches!(msg, NetMsg::App(m) if m == AppMsg::from("a")));
         assert_eq!(st.last_sent, 1);

@@ -80,7 +80,7 @@ fn wire_cut_omits_continuing_members_only() {
     wv::on_view_msg(&mut st, p(3), cv);
     wv::on_app_msg(&mut st, p(3), AppMsg::from("departed's msg"));
     vs::on_start_change(&mut st, StartChangeId::new(2), set(&[1, 2]));
-    let plan = vs::send_sync_eff(&mut st, false, false, true);
+    let plan = vs::send_sync_eff(&mut st, false, false, true).expect("sync enabled");
     let wire_cut = match &plan.sends[0].1 {
         vsgm_types::NetMsg::Sync(s) => s.cut.clone(),
         other => panic!("expected sync, got {other:?}"),
@@ -95,7 +95,7 @@ fn wire_cut_omits_continuing_members_only() {
 #[test]
 fn agreed_bound_uses_stream_position_for_continuing_members() {
     let mut st = base_state();
-    let _ = vs::send_sync_eff(&mut st, false, false, true);
+    let _ = vs::send_sync_eff(&mut st, false, false, true).expect("sync enabled");
     // p2's stream: view_msg, two app messages, then its sync — so its
     // in-stream position is 2.
     let cv0 = st.current_view.clone();
@@ -122,7 +122,7 @@ fn agreed_bound_uses_stream_position_for_continuing_members() {
 #[test]
 fn view_restriction_with_implicit_requires_stream_caught_up() {
     let mut st = base_state();
-    let _ = vs::send_sync_eff(&mut st, false, false, true);
+    let _ = vs::send_sync_eff(&mut st, false, false, true).expect("sync enabled");
     let cv = st.current_view.clone();
     wv::on_view_msg(&mut st, p(2), cv.clone());
     wv::on_app_msg(&mut st, p(2), AppMsg::from("m1"));
@@ -145,7 +145,7 @@ fn recovered_member_with_foreign_sync_view_contributes_zero() {
     // A member whose selected sync shows a different previous view (e.g.
     // a fresh incarnation) has no agreed current-view stream: bound 0.
     let mut st = base_state();
-    let _ = vs::send_sync_eff(&mut st, false, false, true);
+    let _ = vs::send_sync_eff(&mut st, false, false, true).expect("sync enabled");
     vs::on_sync(
         &mut st,
         p(2),

@@ -125,3 +125,66 @@ fn wv_stack_counts_no_syncs_or_blocks() {
     assert_eq!(s.syncs_sent, 0);
     assert_eq!(s.blocks, 0);
 }
+
+#[test]
+fn journal_covers_block_and_forward_events() {
+    use vsgm_obs::{ObsEvent, ObsRecorder};
+    let mut ep = Endpoint::new(p(1), Config::default());
+    let mut rec = ObsRecorder::new();
+
+    // Move into the 3-member view {1,2,3}.
+    let v3 = View::new(
+        ViewId::new(1, 0),
+        [p(1), p(2), p(3)],
+        [
+            (p(1), StartChangeId::new(1)),
+            (p(2), StartChangeId::new(1)),
+            (p(3), StartChangeId::new(1)),
+        ],
+    );
+    ep.handle_rec(
+        Input::StartChange { cid: StartChangeId::new(1), set: set(&[1, 2, 3]) },
+        &mut rec,
+    );
+    ep.poll_rec(&mut rec);
+    ep.handle_rec(Input::BlockOk, &mut rec);
+    ep.poll_rec(&mut rec);
+    ep.handle_rec(Input::MbrshpView(v3.clone()), &mut rec);
+    ep.poll_rec(&mut rec);
+    assert_eq!(rec.journal().count(ObsEvent::ViewInstalled), 1);
+
+    // p3's current-view stream: its view_msg plus one application
+    // message, which p1 buffers (and p2 will turn out to miss).
+    ep.handle_rec(Input::Net { from: p(3), msg: NetMsg::ViewMsg(v3.clone()) }, &mut rec);
+    ep.handle_rec(Input::Net { from: p(3), msg: NetMsg::App(AppMsg::from("m1")) }, &mut rec);
+
+    // A change to {1,2} starts (p3 partitioned away): the block handshake
+    // runs and p1's sync commits to p3's message.
+    ep.handle_rec(
+        Input::StartChange { cid: StartChangeId::new(2), set: set(&[1, 2]) },
+        &mut rec,
+    );
+    ep.poll_rec(&mut rec);
+    ep.handle_rec(Input::BlockOk, &mut rec);
+    ep.poll_rec(&mut rec);
+    assert_eq!(rec.journal().count(ObsEvent::BlockOk), 2);
+    assert_eq!(rec.journal().count(ObsEvent::SyncSent), 2);
+
+    // p2's sync reveals it misses p3's message: the default eager
+    // strategy forwards it, journalled as ForwardSent.
+    let mut cut = Cut::new();
+    cut.set(p(3), 0);
+    ep.handle_rec(
+        Input::Net {
+            from: p(2),
+            msg: NetMsg::Sync(SyncPayload {
+                cid: StartChangeId::new(4),
+                view: Some(v3.clone()),
+                cut,
+            }),
+        },
+        &mut rec,
+    );
+    ep.poll_rec(&mut rec);
+    assert_eq!(rec.journal().count(ObsEvent::ForwardSent), 1, "eager forward of p3's m1");
+}

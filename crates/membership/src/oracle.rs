@@ -1,6 +1,6 @@
 //! A scripted, spec-compliant membership oracle for simulations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vsgm_types::{ProcSet, ProcessId, StartChangeId, View, ViewId};
 
 /// One `start_change_p(cid, set)` notification to be delivered to `p`.
@@ -53,7 +53,7 @@ struct ClientState {
 /// ```
 #[derive(Debug, Default)]
 pub struct MembershipOracle {
-    clients: HashMap<ProcessId, ClientState>,
+    clients: BTreeMap<ProcessId, ClientState>,
 }
 
 impl MembershipOracle {
@@ -116,26 +116,25 @@ impl MembershipOracle {
     /// `v.set ⊆ start_change[p].set`) — both indicate a scenario bug.
     pub fn form_view(&mut self, members: &ProcSet, proposer: u64) -> View {
         let mut epoch = 0;
+        let mut start_ids: Vec<(ProcessId, StartChangeId)> = Vec::new();
         for p in members {
             let st = self.client(*p);
-            let (_, suggested) = st
-                .pending
-                .as_ref()
-                .unwrap_or_else(|| panic!("form_view: {p} has no pending start_change"));
+            let (cid, suggested) = st.pending.as_ref().unwrap_or_else(
+                // The documented scenario-bug panic: the oracle drives
+                // hand-written scenarios, and a member without a pending
+                // change means the scenario itself violates the spec's
+                // form_view precondition.
+                // vsgm-allow(P1): documented scenario-bug check
+                || panic!("form_view: {p} has no pending start_change"),
+            );
             assert!(
                 members.iter().all(|m| suggested.contains(m)),
                 "form_view: {p}'s suggested set {suggested:?} does not cover {members:?}"
             );
+            start_ids.push((*p, *cid));
             epoch = epoch.max(st.last_epoch);
         }
         epoch += 1;
-        let start_ids: Vec<(ProcessId, StartChangeId)> = members
-            .iter()
-            .map(|p| {
-                let st = &self.clients[p];
-                (*p, st.pending.as_ref().expect("checked above").0)
-            })
-            .collect();
         let view = View::new(ViewId::new(epoch, proposer), members.iter().copied(), start_ids);
         for p in members {
             let st = self.client(*p);

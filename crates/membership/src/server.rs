@@ -29,7 +29,7 @@
 
 use crate::oracle::Notice;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use vsgm_net::Wire;
 use vsgm_obs::{names, NoopRecorder, Recorder};
 use vsgm_types::{ProcSet, ProcessId, StartChangeId, View, ViewId};
@@ -116,9 +116,9 @@ pub struct Server {
     est_servers: ProcSet,
     round: u64,
     epoch: u64,
-    next_cid: HashMap<ProcessId, u64>,
+    next_cid: BTreeMap<ProcessId, u64>,
     suggested: ProcSet,
-    proposals: HashMap<ProcessId, StoredProposal>,
+    proposals: BTreeMap<ProcessId, StoredProposal>,
     /// Proposal-set signature (server → round) of the last formed view.
     last_formed: Option<BTreeMap<ProcessId, u64>>,
     bootstrapped: bool,
@@ -135,9 +135,9 @@ impl Server {
             est_servers: [id].into_iter().collect(),
             round: 0,
             epoch: 0,
-            next_cid: HashMap::new(),
+            next_cid: BTreeMap::new(),
             suggested: ProcSet::new(),
-            proposals: HashMap::new(),
+            proposals: BTreeMap::new(),
             last_formed: None,
             bootstrapped: false,
         }
@@ -316,47 +316,47 @@ impl Server {
     fn try_form(&mut self) -> Vec<ServerOutput> {
         // Need a proposal for the current round from every server in the
         // estimate, all agreeing on that estimate.
+        let mut props: Vec<(ProcessId, &StoredProposal)> = Vec::new();
         for s in &self.est_servers {
             match self.proposals.get(s) {
-                Some(p) if p.round == self.round && p.est_servers == self.est_servers => {}
+                Some(p) if p.round == self.round && p.est_servers == self.est_servers => {
+                    props.push((*s, p));
+                }
                 _ => return Vec::new(),
             }
         }
-        let members: ProcSet = self
-            .est_servers
-            .iter()
-            .flat_map(|s| self.proposals[s].members.iter().copied())
-            .collect();
+        let members: ProcSet =
+            props.iter().flat_map(|(_, p)| p.members.iter().copied()).collect();
         if members.is_empty() {
             return Vec::new();
         }
         // Every proposal's suggestion must cover the union; otherwise all
         // servers deterministically escalate to the next round with the
         // larger suggestion (cascaded start_change).
-        let covered = self
-            .est_servers
-            .iter()
-            .all(|s| members.iter().all(|m| self.proposals[s].suggested.contains(m)));
-        if !covered {
-            let next = self.round + 1;
-            return self.enter_round(next, members);
-        }
+        let covered =
+            props.iter().all(|(_, p)| members.iter().all(|m| p.suggested.contains(m)));
         // Deduplicate: don't re-form from an unchanged proposal set.
         let signature: BTreeMap<ProcessId, u64> =
-            self.est_servers.iter().map(|s| (*s, self.proposals[s].round)).collect();
-        if self.last_formed.as_ref() == Some(&signature) {
-            return Vec::new();
-        }
-        let epoch =
-            1 + self.est_servers.iter().map(|s| self.proposals[s].epoch).max().unwrap_or(0);
-        let proposer = self.est_servers.iter().map(|s| s.raw()).min().expect("nonempty");
+            props.iter().map(|(s, p)| (*s, p.round)).collect();
+        let epoch = 1 + props.iter().map(|(_, p)| p.epoch).max().unwrap_or(0);
+        let Some(proposer) = props.iter().map(|(s, _)| s.raw()).min() else {
+            return Vec::new(); // unreachable: est_servers always contains self
+        };
         let mut start_ids: Vec<(ProcessId, StartChangeId)> = Vec::new();
-        for s in &self.est_servers {
-            for (c, cid) in &self.proposals[s].start_ids {
+        for (_, p) in &props {
+            for (c, cid) in &p.start_ids {
                 if members.contains(c) {
                     start_ids.push((*c, *cid));
                 }
             }
+        }
+        drop(props);
+        if !covered {
+            let next = self.round + 1;
+            return self.enter_round(next, members);
+        }
+        if self.last_formed.as_ref() == Some(&signature) {
+            return Vec::new();
         }
         let view = View::new(ViewId::new(epoch, proposer), members.iter().copied(), start_ids);
         self.epoch = epoch;
@@ -469,7 +469,7 @@ mod tests {
         c.connect(&set(&[100, 200]), &set(&[1, 2, 3, 4]));
         // Every client's *last* view is the full one, and identical across
         // clients.
-        let mut last: HashMap<ProcessId, View> = HashMap::new();
+        let mut last: BTreeMap<ProcessId, View> = BTreeMap::new();
         for (cl, v) in &c.views {
             last.insert(*cl, v.clone());
         }
@@ -497,7 +497,7 @@ mod tests {
         c.views.clear();
         // Client 4 dies.
         c.connect(&set(&[100, 200]), &set(&[1, 2, 3]));
-        let mut last: HashMap<ProcessId, View> = HashMap::new();
+        let mut last: BTreeMap<ProcessId, View> = BTreeMap::new();
         for (cl, v) in &c.views {
             last.insert(*cl, v.clone());
         }
@@ -532,7 +532,7 @@ mod tests {
         let pre_merge_max_epoch = c.views.iter().map(|(_, v)| v.id().epoch).max().unwrap();
         c.views.clear();
         c.connect(&set(&[100, 200]), &set(&[1, 2, 3, 4]));
-        let mut last: HashMap<ProcessId, View> = HashMap::new();
+        let mut last: BTreeMap<ProcessId, View> = BTreeMap::new();
         for (cl, v) in &c.views {
             last.insert(*cl, v.clone());
         }
@@ -645,7 +645,7 @@ mod tests {
         c.connect(&set(&[100, 200]), &set(&[1, 2, 3, 4]));
         c.connect(&set(&[100, 200]), &set(&[1, 2, 3]));
         c.connect(&set(&[100, 200]), &set(&[1, 2, 3, 4]));
-        let mut per_client: HashMap<ProcessId, Vec<u64>> = HashMap::new();
+        let mut per_client: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
         for (cl, v) in &c.views {
             per_client.entry(*cl).or_default().push(v.id().epoch);
         }

@@ -244,8 +244,8 @@ impl<M: Wire> SimNet<M> {
     pub fn next_arrival(&self) -> Option<SimTime> {
         self.channels
             .iter()
-            .filter(|((from, to), chan)| !chan.is_empty() && self.deliverable(*from, *to))
-            .map(|(_, chan)| chan.front().expect("nonempty").arrival)
+            .filter(|((from, to), _)| self.deliverable(*from, *to))
+            .filter_map(|(_, chan)| chan.front().map(|m| m.arrival))
             .min()
     }
 
@@ -270,9 +270,9 @@ impl<M: Wire> SimNet<M> {
             if !self.deliverable(key.0, key.1) {
                 continue;
             }
-            let chan = self.channels.get_mut(&key).expect("key from map");
+            let Some(chan) = self.channels.get_mut(&key) else { continue };
             while chan.front().is_some_and(|m| m.arrival <= now) {
-                let m = chan.pop_front().expect("checked nonempty");
+                let Some(m) = chan.pop_front() else { break };
                 self.stats.delivered += 1;
                 rec.counter(names::NET_DELIVERED, 1);
                 rec.observe(

@@ -185,6 +185,9 @@ fn spawn_accept_loop(
                         std::thread::Builder::new()
                             .name("vsgm-tcp-reader".into())
                             .spawn(move || reader_loop(stream, tx, shutdown))
+                            // vsgm-allow(P1): thread-spawn failure is OS
+                            // resource exhaustion at transport startup —
+                            // not a protocol state, nothing to unwind to
                             .expect("spawn reader thread");
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -194,6 +197,8 @@ fn spawn_accept_loop(
                 }
             }
         })
+        // vsgm-allow(P1): thread-spawn failure is OS resource exhaustion
+        // at transport startup — not a protocol state, nothing to unwind to
         .expect("spawn accept thread");
 }
 

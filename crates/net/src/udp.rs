@@ -208,13 +208,12 @@ fn encode_frame(kind: u8, from: ProcessId, seq: u64, body: &[u8]) -> Vec<u8> {
 }
 
 fn decode_header(frame: &[u8]) -> Option<(u8, ProcessId, u64, &[u8])> {
-    if frame.len() < 17 {
-        return None;
-    }
-    let kind = frame[0];
-    let from = ProcessId::new(u64::from_le_bytes(frame[1..9].try_into().ok()?));
-    let seq = u64::from_le_bytes(frame[9..17].try_into().ok()?);
-    Some((kind, from, seq, &frame[17..]))
+    let (kind, rest) = frame.split_first()?;
+    let (from_bytes, rest) = rest.split_first_chunk::<8>()?;
+    let (seq_bytes, body) = rest.split_first_chunk::<8>()?;
+    let from = ProcessId::new(u64::from_le_bytes(*from_bytes));
+    let seq = u64::from_le_bytes(*seq_bytes);
+    Some((*kind, from, seq, body))
 }
 
 fn spawn_recv_loop(shared: Arc<Shared>, tx: Sender<(ProcessId, NetMsg)>) {
@@ -233,7 +232,8 @@ fn spawn_recv_loop(shared: Arc<Shared>, tx: Sender<(ProcessId, NetMsg)>) {
                     }
                     Err(_) => return,
                 };
-                let Some((kind, from, seq, body)) = decode_header(&buf[..len]) else {
+                let Some((kind, from, seq, body)) = buf.get(..len).and_then(decode_header)
+                else {
                     continue;
                 };
                 match kind {
@@ -270,6 +270,8 @@ fn spawn_recv_loop(shared: Arc<Shared>, tx: Sender<(ProcessId, NetMsg)>) {
                 }
             }
         })
+        // vsgm-allow(P1): thread-spawn failure is OS resource exhaustion
+        // at transport startup — not a protocol state, nothing to unwind to
         .expect("spawn udp recv thread");
 }
 
@@ -300,6 +302,8 @@ fn spawn_retransmit_loop(shared: Arc<Shared>) {
                 }
             }
         })
+        // vsgm-allow(P1): thread-spawn failure is OS resource exhaustion
+        // at transport startup — not a protocol state, nothing to unwind to
         .expect("spawn udp retransmit thread");
 }
 

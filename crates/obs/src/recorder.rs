@@ -128,6 +128,9 @@ impl Recorder for ObsRecorder {
         self.journal.push(ObsRecord { pid, step, time: self.now, cid, event });
         self.registry.incr(event.counter_name(), 1);
         if let Some(c) = cid {
+            // Exhaustive over the observability vocabulary: each variant
+            // either opens (or extends) the view-change span keyed by its
+            // cid, or closes it. A new variant must decide its role here.
             match event {
                 ObsEvent::ViewInstalled => {
                     // Close the span: derive the sync-round latency. The
@@ -140,7 +143,17 @@ impl Recorder for ObsRecorder {
                         self.now.saturating_sub(opened).as_micros(),
                     );
                 }
-                _ => {
+                ObsEvent::StartChangeRecv
+                | ObsEvent::SyncSent
+                | ObsEvent::SyncRecv
+                | ObsEvent::CutAgreed
+                | ObsEvent::BlockRequested
+                | ObsEvent::BlockOk
+                | ObsEvent::ForwardSent
+                | ObsEvent::MsgSent
+                | ObsEvent::MsgDelivered
+                | ObsEvent::RecoveryReset
+                | ObsEvent::InvariantViolated => {
                     self.open_spans.entry((pid, c)).or_insert(self.now);
                 }
             }
@@ -202,6 +215,22 @@ mod tests {
         r.advance_time(SimTime::from_micros(10));
         r.advance_time(SimTime::from_micros(4));
         assert_eq!(r.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn invariant_violation_is_journalled_and_counted() {
+        let mut r = ObsRecorder::new();
+        let cid = Some(StartChangeId::new(7));
+        r.event(p(1), cid, ObsEvent::InvariantViolated);
+        assert_eq!(r.journal().count(ObsEvent::InvariantViolated), 1);
+        assert_eq!(
+            r.registry().counter(ObsEvent::InvariantViolated.counter_name()),
+            1
+        );
+        // A violation observed during a change opens the span (so the
+        // journal shows which round went wrong) without closing it.
+        let h = r.registry().histogram(names::SYNC_ROUND_LATENCY_US);
+        assert!(h.is_none_or(|h| h.count() == 0));
     }
 
     #[test]

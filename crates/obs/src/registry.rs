@@ -50,7 +50,11 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&mut self, v: u64) {
-        self.buckets[Self::bucket_index(v)] += 1;
+        // bucket_index is clamped to HISTOGRAM_BUCKETS - 1, so the slot
+        // always exists; get_mut keeps the accessor visibly panic-free.
+        if let Some(slot) = self.buckets.get_mut(Self::bucket_index(v)) {
+            *slot += 1;
+        }
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);

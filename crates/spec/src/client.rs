@@ -1,7 +1,7 @@
 //! `CLIENT:SPEC` — the blocking application client (Fig. 12) and the
 //! block-handshake discipline of the `GCS` automaton (Fig. 11).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vsgm_ioa::{Checker, TraceEntry, Violation};
 use vsgm_types::{Event, ProcessId};
 
@@ -25,7 +25,7 @@ enum BlockStatus {
 /// * a delivered view unblocks.
 #[derive(Debug, Default)]
 pub struct ClientSpec {
-    status: HashMap<ProcessId, BlockStatus>,
+    status: BTreeMap<ProcessId, BlockStatus>,
 }
 
 impl ClientSpec {

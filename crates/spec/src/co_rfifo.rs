@@ -1,6 +1,6 @@
 //! `CO_RFIFO` — connection-oriented reliable FIFO multicast spec (Fig. 3).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use vsgm_ioa::{Checker, TraceEntry, Violation};
 use vsgm_types::{Event, NetMsg, ProcSet, ProcessId};
 
@@ -29,9 +29,9 @@ struct Pending {
 /// `p`'s outgoing channels losable; recovery resets it to `{p}`.
 #[derive(Debug, Default)]
 pub struct CoRfifoSpec {
-    reliable: HashMap<ProcessId, ProcSet>,
-    epoch: HashMap<(ProcessId, ProcessId), u64>,
-    channel: HashMap<(ProcessId, ProcessId), VecDeque<Pending>>,
+    reliable: BTreeMap<ProcessId, ProcSet>,
+    epoch: BTreeMap<(ProcessId, ProcessId), u64>,
+    channel: BTreeMap<(ProcessId, ProcessId), VecDeque<Pending>>,
 }
 
 impl CoRfifoSpec {

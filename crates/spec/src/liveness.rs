@@ -1,6 +1,6 @@
 //! Property 4.2 — conditional liveness (§4.2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vsgm_ioa::{Checker, TraceEntry, Violation};
 use vsgm_types::{AppMsg, Event, ProcessId, View};
 
@@ -24,15 +24,15 @@ pub struct LivenessSpec {
     /// The view the membership is expected to stabilize on.
     target: View,
     /// Step at which `MBRSHP.view_p(target)` occurred, per member.
-    mbrshp_seen: HashMap<ProcessId, u64>,
+    mbrshp_seen: BTreeMap<ProcessId, u64>,
     /// Whether the stabilization premise broke (vacuous acceptance).
     premise_broken: bool,
     /// Step at which `GCS.view_p(target)` occurred, per member.
-    installed: HashMap<ProcessId, u64>,
+    installed: BTreeMap<ProcessId, u64>,
     /// Messages sent by `p` after it installed the target view.
-    sends_after: HashMap<ProcessId, Vec<AppMsg>>,
+    sends_after: BTreeMap<ProcessId, Vec<AppMsg>>,
     /// Messages delivered to `q` from `p` after `q` installed the target.
-    delivered_after: HashMap<(ProcessId, ProcessId), Vec<AppMsg>>,
+    delivered_after: BTreeMap<(ProcessId, ProcessId), Vec<AppMsg>>,
 }
 
 impl LivenessSpec {
@@ -40,11 +40,11 @@ impl LivenessSpec {
     pub fn new(target: View) -> Self {
         LivenessSpec {
             target,
-            mbrshp_seen: HashMap::new(),
+            mbrshp_seen: BTreeMap::new(),
             premise_broken: false,
-            installed: HashMap::new(),
-            sends_after: HashMap::new(),
-            delivered_after: HashMap::new(),
+            installed: BTreeMap::new(),
+            sends_after: BTreeMap::new(),
+            delivered_after: BTreeMap::new(),
         }
     }
 

@@ -1,6 +1,6 @@
 //! `MBRSHP` — membership service safety specification (Fig. 2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vsgm_ioa::{Checker, TraceEntry, Violation};
 use vsgm_types::{Event, ProcSet, ProcessId, StartChangeId, View, ViewId};
 
@@ -58,7 +58,7 @@ impl PerProc {
 /// view.
 #[derive(Debug, Default)]
 pub struct MbrshpSpec {
-    procs: HashMap<ProcessId, PerProc>,
+    procs: BTreeMap<ProcessId, PerProc>,
 }
 
 impl MbrshpSpec {
@@ -92,9 +92,9 @@ impl Checker for MbrshpSpec {
                         ),
                     ));
                 }
-                if st.initial && *cid < StartChangeId::ZERO {
-                    unreachable!("cid₀ is the smallest StartChangeId");
-                }
+                // (For the first change any cid is acceptable:
+                // StartChangeId::ZERO is the type's minimum, so the spec's
+                // `cid ≥ cid₀` holds by construction.)
                 if !set.contains(p) {
                     return Err(Violation::at_step(
                         "MBRSHP",

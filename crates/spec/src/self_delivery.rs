@@ -1,6 +1,6 @@
 //! `SELF:SPEC` — the Self Delivery property (Fig. 7).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vsgm_ioa::{Checker, TraceEntry, Violation};
 use vsgm_types::{Event, ProcessId};
 
@@ -11,9 +11,9 @@ use vsgm_types::{Event, ProcessId};
 #[derive(Debug, Default)]
 pub struct SelfDeliverySpec {
     /// Messages sent by `p` in its current view.
-    sent: HashMap<ProcessId, u64>,
+    sent: BTreeMap<ProcessId, u64>,
     /// Own messages delivered back to `p` in its current view.
-    delivered_own: HashMap<ProcessId, u64>,
+    delivered_own: BTreeMap<ProcessId, u64>,
 }
 
 impl SelfDeliverySpec {

@@ -1,6 +1,6 @@
 //! `TRANS_SET:SPEC` — transitional sets (Fig. 6, Property 4.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vsgm_ioa::{Checker, TraceEntry, Violation};
 use vsgm_types::{Event, ProcSet, ProcessId, View};
 
@@ -17,7 +17,7 @@ use vsgm_types::{Event, ProcSet, ProcessId, View};
 /// may install `v'` later), so they run in [`Checker::finish`].
 #[derive(Debug, Default)]
 pub struct TransSetSpec {
-    current_view: HashMap<ProcessId, View>,
+    current_view: BTreeMap<ProcessId, View>,
     /// Every observed transition: (process, previous view, new view, T).
     transitions: Vec<Transition>,
 }
@@ -93,7 +93,7 @@ impl Checker for TransSetSpec {
 
     fn finish(&mut self) -> Result<(), Violation> {
         // Group transitions by target view (full-triple identity).
-        let mut by_next: HashMap<&View, Vec<&Transition>> = HashMap::new();
+        let mut by_next: BTreeMap<&View, Vec<&Transition>> = BTreeMap::new();
         for t in &self.transitions {
             by_next.entry(&t.next).or_default().push(t);
         }

@@ -1,6 +1,6 @@
 //! `VS_RFIFO:SPEC` — virtual synchrony via agreed cuts (Fig. 5).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vsgm_ioa::{Checker, TraceEntry, Violation};
 use vsgm_types::{Cut, Event, ProcessId, View};
 
@@ -16,12 +16,12 @@ use vsgm_types::{Cut, Event, ProcessId, View};
 /// every later process making the same transition to match it.
 #[derive(Debug, Default)]
 pub struct VsRfifoSpec {
-    current_view: HashMap<ProcessId, View>,
+    current_view: BTreeMap<ProcessId, View>,
     /// Messages delivered to `receiver` from `sender` in the receiver's
     /// current view: `last_dlvrd[(sender, receiver)]`.
-    last_dlvrd: HashMap<(ProcessId, ProcessId), u64>,
+    last_dlvrd: BTreeMap<(ProcessId, ProcessId), u64>,
     /// `cut[v][v']`, keyed by the (full-triple) views.
-    cut: HashMap<(View, View), Cut>,
+    cut: BTreeMap<(View, View), Cut>,
 }
 
 impl VsRfifoSpec {

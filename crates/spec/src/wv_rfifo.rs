@@ -1,6 +1,6 @@
 //! `WV_RFIFO:SPEC` — within-view reliable FIFO multicast (Fig. 4).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use vsgm_ioa::{Checker, TraceEntry, Violation};
 use vsgm_types::{AppMsg, Event, ProcessId, View, ViewId};
 
@@ -29,18 +29,18 @@ use vsgm_types::{AppMsg, Event, ProcessId, View, ViewId};
 /// singleton view are tracked separately from pre-crash ones.
 #[derive(Debug, Default)]
 pub struct WvRfifoSpec {
-    crashed: HashSet<ProcessId>,
+    crashed: BTreeSet<ProcessId>,
     /// Incarnation counters; bumped on recovery.
-    inc: HashMap<ProcessId, u64>,
+    inc: BTreeMap<ProcessId, u64>,
     /// Largest view id ever delivered to `p` (survives crashes).
-    floor: HashMap<ProcessId, ViewId>,
-    current_view: HashMap<ProcessId, View>,
+    floor: BTreeMap<ProcessId, ViewId>,
+    current_view: BTreeMap<ProcessId, View>,
     /// `msgs[(sender, incarnation, view)]`.
-    msgs: HashMap<(ProcessId, u64, View), Vec<AppMsg>>,
+    msgs: BTreeMap<(ProcessId, u64, View), Vec<AppMsg>>,
     /// Which incarnation of a sender sent in a given (non-initial) view.
-    sender_inc: HashMap<(ProcessId, View), u64>,
+    sender_inc: BTreeMap<(ProcessId, View), u64>,
     /// `last_dlvrd[(sender, receiver)]`.
-    last_dlvrd: HashMap<(ProcessId, ProcessId), u64>,
+    last_dlvrd: BTreeMap<(ProcessId, ProcessId), u64>,
 }
 
 impl WvRfifoSpec {

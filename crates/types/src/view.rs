@@ -38,12 +38,12 @@ use std::sync::Arc;
 /// assert_eq!(v.start_id(q), Some(StartChangeId::new(4)));
 /// assert_eq!(v.len(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct View {
     inner: Arc<ViewInner>,
 }
 
-#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 struct ViewInner {
     id: ViewId,
     members: BTreeSet<ProcessId>,
@@ -142,7 +142,10 @@ impl fmt::Debug for View {
             if i > 0 {
                 write!(f, ",")?;
             }
-            write!(f, "{m}:{}", self.inner.start_ids[m])?;
+            match self.inner.start_ids.get(m) {
+                Some(cid) => write!(f, "{m}:{cid}")?,
+                None => write!(f, "{m}:?")?,
+            }
         }
         write!(f, "}})")
     }

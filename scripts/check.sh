@@ -20,4 +20,9 @@ cargo test -q "${CARGO_FLAGS[@]}"
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace "${CARGO_FLAGS[@]}" -- -D warnings
 
+# Protocol analyzer: deny-by-default. Exits nonzero on any unwaived
+# finding (determinism, panic-freedom, IOA discipline, spec coverage).
+echo "==> vsgm-analyze --format json"
+cargo run -q -p vsgm-analyze "${CARGO_FLAGS[@]}" -- --format json
+
 echo "==> all checks passed"
