@@ -11,7 +11,9 @@ use crate::{FileKind, Finding, SourceFile};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Crates whose protocol state must iterate deterministically (D1).
-pub const D1_CRATES: [&str; 4] = ["core", "membership", "types", "spec"];
+/// `chaos` is held to the same bar: seed-replayable search would silently
+/// rot if a HashMap or ambient clock crept into the generator/minimizer.
+pub const D1_CRATES: [&str; 5] = ["core", "membership", "types", "spec", "chaos"];
 /// Crates whose non-test code must be panic-free (P1).
 pub const P1_CRATES: [&str; 4] = ["core", "membership", "net", "spec"];
 /// Crates holding precondition/effect transition functions (I1).

@@ -1,0 +1,197 @@
+//! `chaos` — randomized fault-injection search over the VSGM stack.
+//!
+//! ```text
+//! chaos [--seeds N] [--seed X] [--minimize] [--format json|text]
+//!       [--procs MAX] [--steps MAX] [--inject-bug] [--artifacts DIR]
+//! ```
+//!
+//! Each seed deterministically generates a legal random scenario
+//! (workload, partitions, crashes, recoveries, cascades, network faults),
+//! runs it under every spec checker plus post-stabilization liveness, and
+//! reports violations. `--minimize` shrinks each failure to a minimal
+//! reproducer; `--artifacts DIR` writes per-failure JSON artifacts
+//! (seed + scenario + journal). `--inject-bug` suppresses a sync message
+//! in the final view change — a deliberate protocol bug that must be
+//! caught, used to validate the oracle itself. Exit status: 0 iff every
+//! run passed. Same arguments ⇒ byte-identical report.
+
+use serde::Serialize;
+use vsgm_chaos::{generate, minimize, run_scenario, Artifact, ChaosConfig, RunOptions};
+use vsgm_harness::Scenario;
+
+#[derive(Serialize)]
+struct Row {
+    seed: u64,
+    n: usize,
+    steps: usize,
+    events: usize,
+    recovery_resets: u64,
+    injected_drops: u64,
+    result: String,
+    detail: Vec<String>,
+    minimized_steps: i64,
+    minimized_json: String,
+}
+
+#[derive(Serialize)]
+struct Report {
+    total: usize,
+    failures: usize,
+    runs: Vec<Row>,
+}
+
+struct Args {
+    seeds: u64,
+    seed: Option<u64>,
+    minimize: bool,
+    json: bool,
+    procs: u64,
+    steps: usize,
+    inject_bug: bool,
+    artifacts: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--seeds N] [--seed X] [--minimize] [--format json|text]\n\
+         \x20            [--procs MAX] [--steps MAX] [--inject-bug] [--artifacts DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 50,
+        seed: None,
+        minimize: false,
+        json: false,
+        procs: 5,
+        steps: 16,
+        inject_bug: false,
+        artifacts: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| -> String {
+            it.next().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = Some(value(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--minimize" => args.minimize = true,
+            "--format" => match value(&mut it).as_str() {
+                "json" => args.json = true,
+                "text" => args.json = false,
+                _ => usage(),
+            },
+            "--procs" => args.procs = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--steps" => args.steps = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--inject-bug" => args.inject_bug = true,
+            "--artifacts" => args.artifacts = Some(value(&mut it)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    // Panics inside a run are caught and reported as failures; keep the
+    // default hook from spraying backtraces over the report.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let cfg = ChaosConfig { max_procs: args.procs.max(2), max_steps: args.steps, dup: 0.0 };
+    let opts = RunOptions {
+        skip_sync_at_stabilization: if args.inject_bug { Some(0) } else { None },
+    };
+    let seeds: Vec<u64> = match args.seed {
+        Some(x) => vec![x],
+        None => (0..args.seeds).collect(),
+    };
+
+    if let Some(dir) = &args.artifacts {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("chaos: cannot create artifact dir {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for seed in seeds {
+        let scenario = generate(seed, &cfg);
+        let outcome = run_scenario(&scenario, &opts);
+        let failed = outcome.failure.is_some();
+        let mut minimized: Option<Scenario> = None;
+        let mut tested = 0usize;
+        if failed {
+            failures += 1;
+            if args.minimize {
+                if let Some(m) = minimize(&scenario, &opts) {
+                    tested = m.tested;
+                    minimized = Some(m.scenario);
+                }
+            }
+            if let Some(dir) = &args.artifacts {
+                let artifact = Artifact::new(&scenario, &outcome, minimized.as_ref());
+                let path = format!("{dir}/chaos-seed-{seed}.json");
+                if let Err(e) = std::fs::write(&path, artifact.to_json()) {
+                    eprintln!("chaos: cannot write {path}: {e}");
+                }
+            }
+        }
+        rows.push(Row {
+            seed,
+            n: scenario.n,
+            steps: scenario.steps.len(),
+            events: outcome.events,
+            recovery_resets: outcome.recovery_resets,
+            injected_drops: outcome.injected_drops,
+            result: outcome
+                .failure
+                .as_ref()
+                .map(|f| f.kind().to_string())
+                .unwrap_or_else(|| "pass".to_string()),
+            detail: outcome.failure.as_ref().map(|f| f.details()).unwrap_or_default(),
+            minimized_steps: minimized.as_ref().map(|s| s.steps.len() as i64).unwrap_or(-1),
+            minimized_json: minimized
+                .as_ref()
+                .map(|s| {
+                    let _ = tested; // recorded in text mode below
+                    s.to_json()
+                })
+                .unwrap_or_default(),
+        });
+        if !args.json {
+            let row = rows.last().expect("just pushed");
+            println!(
+                "seed {:>4}: {:<16} n={} steps={:>2} events={:>5} resets={} drops={}",
+                row.seed,
+                row.result,
+                row.n,
+                row.steps,
+                row.events,
+                row.recovery_resets,
+                row.injected_drops
+            );
+            for line in &row.detail {
+                println!("    {line}");
+            }
+            if let Some(m) = &minimized {
+                println!("    minimized to {} steps ({} candidate runs):", m.steps.len(), tested);
+                for l in m.to_json().lines() {
+                    println!("    {l}");
+                }
+            }
+        }
+    }
+
+    let report = Report { total: rows.len(), failures, runs: rows };
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+    } else {
+        println!("chaos: {} runs, {} failures", report.total, report.failures);
+    }
+    std::process::exit(if failures > 0 { 1 } else { 0 });
+}

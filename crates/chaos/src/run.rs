@@ -1,0 +1,373 @@
+//! Scenario execution under the full oracle, and the failure artifact.
+//!
+//! A chaos run has three acts:
+//!
+//! 1. **Validate** the script against the membership oracle's legality
+//!    rules ([`validate`]), so oracle panics about nonsense scripts are
+//!    reported as [`Failure::InvalidScenario`] instead of masquerading as
+//!    protocol bugs.
+//! 2. **Execute** every step with all spec checkers online, each step
+//!    under `catch_unwind` so a panic (broken paper invariant, livelock
+//!    guard) still yields a structured failure with the observability
+//!    journal intact.
+//! 3. **Stabilize and judge**: clear the fault plan, heal the network,
+//!    recover everyone, reconfigure to the full group, run to quiescence,
+//!    and attach a Property 4.2 [`LivenessSpec`] for the final view
+//!    (attachment replays the recorded trace, so the checker judges the
+//!    whole run). After stabilization the premise of Property 4.2 holds,
+//!    so "everyone installs the final view and sees every stable-view
+//!    message" is *checkable* — the liveness oracle that catches silently
+//!    stalled view changes.
+
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use vsgm_core::Config;
+use vsgm_harness::{Scenario, Sim, SimOptions, Step};
+use vsgm_ioa::Violation;
+use vsgm_net::{FaultPlan, LatencyModel};
+use vsgm_obs::ObsEvent;
+use vsgm_spec::LivenessSpec;
+use vsgm_types::ProcessId;
+
+/// Options controlling a chaos run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Deliberate protocol sabotage for oracle validation: arm
+    /// `Sim::suppress_sync` with this relative index just before the
+    /// stabilization phase, silently swallowing the n-th cut/sync message
+    /// of the final view change. A healthy oracle must convert this into
+    /// a liveness (or virtual-synchrony) violation — used by the
+    /// `--inject-bug` flag and the acceptance tests, never by default.
+    pub skip_sync_at_stabilization: Option<u64>,
+}
+
+/// Why a chaos run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Failure {
+    /// One or more spec checkers rejected the trace.
+    Violations(Vec<Violation>),
+    /// The run panicked (paper-invariant assertion, livelock guard, ...).
+    Panic(String),
+    /// The script itself is illegal for the membership oracle.
+    InvalidScenario(String),
+}
+
+impl Failure {
+    /// Coarse class, used in reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Failure::Violations(_) => "violations",
+            Failure::Panic(_) => "panic",
+            Failure::InvalidScenario(_) => "invalid_scenario",
+        }
+    }
+
+    /// Matching key for the minimizer: a candidate reproduces the
+    /// original failure iff the signatures agree (same class and, for
+    /// violations, same first checker — so shrinking cannot wander from
+    /// a liveness bug to an unrelated safety complaint).
+    pub fn signature(&self) -> String {
+        match self {
+            Failure::Violations(vs) => {
+                let checker = vs.first().map(|v| v.checker.as_str()).unwrap_or("");
+                format!("violations:{checker}")
+            }
+            Failure::Panic(_) => "panic".to_string(),
+            Failure::InvalidScenario(_) => "invalid_scenario".to_string(),
+        }
+    }
+
+    /// Human-readable lines describing the failure.
+    pub fn details(&self) -> Vec<String> {
+        match self {
+            Failure::Violations(vs) => vs.iter().map(|v| v.to_string()).collect(),
+            Failure::Panic(m) => vec![format!("panic: {m}")],
+            Failure::InvalidScenario(m) => vec![format!("invalid scenario: {m}")],
+        }
+    }
+}
+
+/// Result of one chaos run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The scenario's seed (replay handle).
+    pub seed: u64,
+    /// `None` = the full oracle accepted the run.
+    pub failure: Option<Failure>,
+    /// Total recorded trace events.
+    pub events: usize,
+    /// §8 recovery resets observed in the journal.
+    pub recovery_resets: u64,
+    /// Messages the fault injector dropped.
+    pub injected_drops: u64,
+    /// `vsgm-obs` journal (JSON lines) — captured only for failing runs.
+    pub journal: String,
+}
+
+/// Statically checks that `scenario` is legal for the membership oracle,
+/// mirroring its panicking preconditions (see `vsgm_membership`):
+/// `form_view(M)` needs every `m ∈ M` to hold a pending `start_change`
+/// whose suggested set covers `M`; `recover` clears the pending slot;
+/// process numbers must lie in `1..=n`.
+///
+/// # Errors
+///
+/// Returns a description of the first illegal step.
+pub fn validate(scenario: &Scenario) -> Result<(), String> {
+    let n = scenario.n as u64;
+    if n == 0 {
+        return Err("scenario has no processes".to_string());
+    }
+    let check_p = |i: usize, p: u64| -> Result<(), String> {
+        if p >= 1 && p <= n {
+            Ok(())
+        } else {
+            Err(format!("step {i}: process {p} outside 1..={n}"))
+        }
+    };
+    let check_members = |i: usize, members: &[u64]| -> Result<(), String> {
+        if members.is_empty() {
+            return Err(format!("step {i}: empty member set"));
+        }
+        for &m in members {
+            check_p(i, m)?;
+        }
+        Ok(())
+    };
+    let mut pending: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let mut crashed: BTreeSet<u64> = BTreeSet::new();
+    for (i, step) in scenario.steps.iter().enumerate() {
+        match step {
+            Step::Send { p, .. } => check_p(i, *p)?,
+            Step::Crash { p } | Step::CrashDuringSync { p } => {
+                check_p(i, *p)?;
+                crashed.insert(*p);
+            }
+            Step::Recover { p } => {
+                check_p(i, *p)?;
+                // Recovery of a live process is a harness no-op; only a
+                // real recovery clears the oracle's pending slot.
+                if crashed.remove(p) {
+                    pending.remove(p);
+                }
+            }
+            Step::Partition { groups } => {
+                for g in groups {
+                    for &m in g {
+                        check_p(i, m)?;
+                    }
+                }
+            }
+            Step::StartChange { members } => {
+                check_members(i, members)?;
+                for &m in members {
+                    pending.insert(m, members.iter().copied().collect());
+                }
+            }
+            Step::Reconfigure { members } => {
+                check_members(i, members)?;
+                // start_change for `members` immediately consumed by the
+                // formed view.
+                for &m in members {
+                    pending.remove(&m);
+                }
+            }
+            Step::FormView { members } => {
+                check_members(i, members)?;
+                let set: BTreeSet<u64> = members.iter().copied().collect();
+                for &m in members {
+                    match pending.get(&m) {
+                        Some(sug) if set.is_subset(sug) => {}
+                        Some(_) => {
+                            return Err(format!(
+                                "step {i}: form_view {members:?} not covered by \
+                                 {m}'s pending start_change"
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "step {i}: form_view {members:?} but {m} has no \
+                                 pending start_change"
+                            ));
+                        }
+                    }
+                }
+                for &m in members {
+                    pending.remove(&m);
+                }
+            }
+            Step::Heal | Step::Run | Step::RunFor { .. } | Step::Faults { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+fn apply(sim: &mut Sim<vsgm_core::Endpoint>, step: &Step) {
+    use vsgm_types::{AppMsg, ProcSet};
+    let set_of = |ids: &[u64]| -> ProcSet { ids.iter().map(|&i| ProcessId::new(i)).collect() };
+    match step {
+        Step::Send { p, msg } => sim.send(ProcessId::new(*p), AppMsg::from(msg.as_str())),
+        Step::Reconfigure { members } => {
+            sim.reconfigure(&set_of(members));
+        }
+        Step::StartChange { members } => sim.start_change(&set_of(members)),
+        Step::FormView { members } => {
+            sim.form_view(&set_of(members));
+        }
+        Step::Partition { groups } => {
+            let groups: Vec<Vec<ProcessId>> =
+                groups.iter().map(|g| g.iter().map(|&i| ProcessId::new(i)).collect()).collect();
+            sim.partition(&groups);
+        }
+        Step::Heal => sim.heal(),
+        Step::Crash { p } => sim.crash(ProcessId::new(*p)),
+        Step::Recover { p } => sim.recover(ProcessId::new(*p)),
+        Step::Run => sim.run_to_quiescence(),
+        Step::RunFor { ms } => sim.run_for(vsgm_ioa::SimTime::from_millis(*ms)),
+        Step::Faults { drop, dup, reorder_ms, burst } => sim.set_fault_plan(FaultPlan {
+            drop: *drop,
+            dup: *dup,
+            reorder_ms: *reorder_ms,
+            burst: *burst,
+            burst_len: 0,
+        }),
+        Step::CrashDuringSync { p } => sim.crash_during_sync(ProcessId::new(*p)),
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Runs `scenario` under the full oracle and judges the outcome.
+///
+/// Deterministic: the schedule, faults, and verdict are pure functions of
+/// the scenario (which embeds its seed) and `opts`.
+pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> RunOutcome {
+    if let Err(e) = validate(scenario) {
+        return RunOutcome {
+            seed: scenario.seed,
+            failure: Some(Failure::InvalidScenario(e)),
+            events: 0,
+            recovery_resets: 0,
+            injected_drops: 0,
+            journal: String::new(),
+        };
+    }
+    let mut sim = Sim::new_paper(
+        scenario.n,
+        Config::default(),
+        SimOptions {
+            seed: scenario.seed,
+            latency: LatencyModel::lan(),
+            check: true,
+            shuffle_polling: true,
+        },
+    );
+    sim.enable_obs();
+    let mut panicked: Option<String> = None;
+    for step in &scenario.steps {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            apply(&mut sim, step);
+            sim.assert_paper_invariants();
+        }));
+        if let Err(p) = r {
+            panicked = Some(panic_text(p));
+            break;
+        }
+    }
+    if panicked.is_none() {
+        // Deliberate sabotage hook (oracle validation): swallow the n-th
+        // sync message from here on.
+        if let Some(nth) = opts.skip_sync_at_stabilization {
+            sim.suppress_sync(nth);
+        }
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            // Stabilization: stop injecting, heal, recover everyone, and
+            // reconfigure to the full group — from here Property 4.2's
+            // premise holds, so liveness is checkable at quiescence.
+            sim.set_fault_plan(FaultPlan::none());
+            sim.heal();
+            for i in 1..=(scenario.n as u64) {
+                let p = ProcessId::new(i);
+                if sim.endpoint(p).is_crashed() {
+                    sim.recover(p);
+                }
+            }
+            let all = sim.all_procs();
+            let v = sim.reconfigure(&all);
+            sim.run_to_quiescence();
+            sim.add_checker(LivenessSpec::new(v));
+            sim.assert_paper_invariants();
+        }));
+        if let Err(p) = r {
+            panicked = Some(panic_text(p));
+        }
+    }
+    let failure = match panicked {
+        Some(msg) => Some(Failure::Panic(msg)),
+        None => {
+            let violations = sim.finish();
+            if violations.is_empty() {
+                None
+            } else {
+                Some(Failure::Violations(violations))
+            }
+        }
+    };
+    let injected_drops = sim.fault_stats().injected_drops;
+    let events = sim.trace().len();
+    let (recovery_resets, journal) = match sim.take_obs() {
+        Some(rec) => (
+            rec.journal().count(ObsEvent::RecoveryReset),
+            if failure.is_some() { rec.journal().to_json_lines() } else { String::new() },
+        ),
+        None => (0, String::new()),
+    };
+    RunOutcome { seed: scenario.seed, failure, events, recovery_resets, injected_drops, journal }
+}
+
+/// Self-contained failure artifact: the seed, the (possibly minimized)
+/// scenario, the failure description, and the observability journal —
+/// everything needed to file, replay, and debug the failure.
+#[derive(Debug, Serialize)]
+pub struct Artifact {
+    /// Replay handle: `chaos --seed <seed>` regenerates the scenario.
+    pub seed: u64,
+    /// Failure class (`violations` / `panic` / `invalid_scenario`),
+    /// or `pass`.
+    pub kind: String,
+    /// Human-readable failure lines.
+    pub detail: Vec<String>,
+    /// The failing scenario, replayable with `Scenario::from_json`.
+    pub scenario: Scenario,
+    /// The minimized reproducer, when minimization ran (empty otherwise —
+    /// a 0/1-element list keeps the vendored serde surface simple).
+    pub minimized: Vec<Scenario>,
+    /// `vsgm-obs` journal lines of the failing run.
+    pub journal: Vec<String>,
+}
+
+impl Artifact {
+    /// Builds the artifact for a run (plus optional minimized scenario).
+    pub fn new(scenario: &Scenario, outcome: &RunOutcome, minimized: Option<&Scenario>) -> Self {
+        Artifact {
+            seed: outcome.seed,
+            kind: outcome.failure.as_ref().map(Failure::kind).unwrap_or("pass").to_string(),
+            detail: outcome.failure.as_ref().map(Failure::details).unwrap_or_default(),
+            scenario: scenario.clone(),
+            minimized: minimized.cloned().into_iter().collect(),
+            journal: outcome.journal.lines().map(str::to_string).collect(),
+        }
+    }
+
+    /// Serializes the artifact as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact is serializable")
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use vsgm_core::{BlockingClient, Config, Effect, Endpoint, GroupEndpoint, Input};
 use vsgm_ioa::{CheckSet, SimRng, SimTime, Trace, Violation};
 use vsgm_membership::MembershipOracle;
-use vsgm_net::{LatencyModel, SimNet};
+use vsgm_net::{FaultPlan, FaultStats, LatencyModel, SimNet};
 use vsgm_obs::{NoopRecorder, ObsEvent, ObsRecorder, Recorder};
 use vsgm_types::{AppMsg, Event, NetMsg, ProcSet, ProcessId, View};
 
@@ -62,6 +62,11 @@ pub struct Sim<E: GroupEndpoint = Endpoint> {
     obs: Option<ObsRecorder>,
     /// No-op sink used when observability is off.
     noop: NoopRecorder,
+    /// Bug-injection hook: index of the sync/sync-agg send to swallow
+    /// ([`Sim::suppress_sync`]).
+    suppress_sync: Option<u64>,
+    /// Sync/sync-agg sends seen so far (drives `suppress_sync`).
+    sync_seen: u64,
 }
 
 /// Selects the active recorder without borrowing the whole `Sim` (so the
@@ -142,6 +147,8 @@ impl<E: GroupEndpoint> Sim<E> {
             sched_rng,
             obs: None,
             noop: NoopRecorder,
+            suppress_sync: None,
+            sync_seen: 0,
         }
     }
 
@@ -350,8 +357,25 @@ impl<E: GroupEndpoint> Sim<E> {
         self.net.heal(now);
     }
 
+    /// Installs (or replaces) the chaos fault plan on the simulated
+    /// network; a [`FaultPlan::none`] plan clears it. Faults are drawn
+    /// from a fork of the simulation seed, so runs stay deterministic.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.net.set_faults(plan);
+    }
+
+    /// What the fault injector has done so far (zeros when no plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.net.fault_stats()
+    }
+
     /// Crashes `p` (§8): endpoint frozen, outgoing traffic dropped.
+    /// No-op if `p` is already down (minimized chaos scenarios may lose
+    /// the intervening `Recover` step).
     pub fn crash(&mut self, p: ProcessId) {
+        if self.eps[&p].is_crashed() {
+            return;
+        }
         self.record(Event::Crash { p });
         self.net.crash(p);
         let rec = rec_of(&mut self.obs, &mut self.noop);
@@ -360,8 +384,40 @@ impl<E: GroupEndpoint> Sim<E> {
         self.clients.insert(p, BlockingClient::new());
     }
 
+    /// Crashes `p` in the middle of a sync round: delivers network
+    /// arrivals until `p` is mid-reconfiguration (it often already is,
+    /// right after a `start_change`), lets a short deterministic prefix
+    /// of the sync exchange land, then crashes `p`. Falls back to a plain
+    /// crash at quiescence if no reconfiguration ever starts.
+    pub fn crash_during_sync(&mut self, p: ProcessId) {
+        if self.eps[&p].is_crashed() {
+            return;
+        }
+        for _ in 0..10_000_000u64 {
+            if self.eps[&p].reconfiguring() || !self.deliver_next() {
+                break;
+            }
+        }
+        if self.eps[&p].reconfiguring() {
+            // Vary (deterministically) how much of the sync round p sees
+            // before dying — crash-before-sync vs crash-after-partial-sync
+            // exercise different recovery paths.
+            let extra = self.sched_rng.range(0, 3);
+            for _ in 0..extra {
+                if !self.deliver_next() {
+                    break;
+                }
+            }
+        }
+        self.crash(p);
+    }
+
     /// Recovers `p` with a fresh initial state (no stable storage).
+    /// No-op if `p` is not down.
     pub fn recover(&mut self, p: ProcessId) {
+        if !self.eps[&p].is_crashed() {
+            return;
+        }
         self.record(Event::Recover { p });
         self.net.recover(p);
         self.oracle.recover(p);
@@ -429,10 +485,55 @@ impl<E: GroupEndpoint> Sim<E> {
         panic!("simulation did not quiesce");
     }
 
+    /// Runs for `d` of simulated time: delivers every arrival due within
+    /// the window and advances the clock to the end of it, leaving later
+    /// arrivals in flight. Lets chaos scenarios interleave faults with a
+    /// half-drained network instead of always reaching quiescence.
+    pub fn run_for(&mut self, d: SimTime) {
+        self.step_all();
+        let deadline = self.time + d;
+        for _ in 0..10_000_000u64 {
+            match self.net.next_arrival() {
+                Some(t) if t <= deadline => {
+                    self.deliver_next();
+                }
+                _ => break,
+            }
+        }
+        if self.time < deadline {
+            self.time = deadline;
+            if let Some(r) = &mut self.obs {
+                r.advance_time(deadline);
+            }
+        }
+    }
+
+    /// Deliberate-bug hook for oracle validation: silently swallows the
+    /// `nth` (0-based, counted from this call) sync/sync-agg send — the
+    /// endpoint believes it sent its cut, nobody receives it, and
+    /// `CO_RFIFO` sees nothing (the message never reaches the network).
+    /// A correct chaos oracle must catch the resulting stalled view
+    /// change via the Property 4.2 liveness check.
+    pub fn suppress_sync(&mut self, nth: u64) {
+        self.suppress_sync = Some(self.sync_seen + nth);
+    }
+
+    /// Whether the [`Sim::suppress_sync`] bug has fired yet.
+    pub fn suppressed_a_sync(&self) -> bool {
+        matches!(self.suppress_sync, Some(nth) if self.sync_seen > nth)
+    }
+
     fn route(&mut self, from: ProcessId, effects: Vec<Effect>) {
         for e in effects {
             match e {
                 Effect::NetSend { to, msg } => {
+                    if matches!(msg.tag(), "sync_msg" | "sync_agg") {
+                        let idx = self.sync_seen;
+                        self.sync_seen += 1;
+                        if self.suppress_sync == Some(idx) {
+                            continue;
+                        }
+                    }
                     self.record(Event::NetSend { p: from, set: to.clone(), msg: msg.clone() });
                     let now = self.time;
                     let rec = rec_of(&mut self.obs, &mut self.noop);
@@ -493,10 +594,14 @@ impl<E: GroupEndpoint> Sim<E> {
         violations
     }
 
-    /// Adds an extra checker (e.g. a liveness expectation) that will see
-    /// only events recorded *after* this call.
+    /// Adds an extra checker (e.g. a liveness expectation). The trace
+    /// recorded so far is replayed into it first, so the checker judges
+    /// the whole run no matter when it attaches — in particular, a
+    /// `LivenessSpec` added right after `reconfigure` still sees the
+    /// membership notifications (and any synchronous view installs) that
+    /// happened inside that call.
     pub fn add_checker(&mut self, checker: impl vsgm_ioa::Checker + 'static) {
-        self.checks.add(checker);
+        self.checks.add_with_history(checker, self.trace.entries());
     }
 
     /// Panics with a readable report if any spec was violated.
@@ -780,6 +885,114 @@ mod tests {
             sim.trace().to_json_lines()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn run_for_advances_time_without_draining_the_network() {
+        let mut sim = Sim::new_paper(3, Config::default(), SimOptions::default());
+        sim.reconfigure(&procs(3));
+        sim.run_to_quiescence();
+        // Large jitter spreads arrivals out, so a 1µs window leaves the
+        // sent message in flight.
+        sim.set_fault_plan(FaultPlan { reorder_ms: 50, ..FaultPlan::default() });
+        let before = sim.now();
+        sim.send(ProcessId::new(1), AppMsg::from("slow"));
+        sim.run_for(SimTime::from_micros(1));
+        assert_eq!(sim.now(), before + SimTime::from_micros(1));
+        assert!(sim.net().next_arrival().is_some(), "message should still be in flight");
+        sim.run_to_quiescence();
+        sim.assert_clean();
+        assert!(sim.fault_stats().delayed > 0);
+    }
+
+    #[test]
+    fn crash_during_sync_kills_a_reconfiguring_endpoint() {
+        let mut sim = Sim::new_paper(3, Config::default(), SimOptions::default());
+        sim.reconfigure(&procs(3));
+        sim.send(ProcessId::new(2), AppMsg::from("pre"));
+        sim.run_to_quiescence();
+        sim.start_change(&procs(3));
+        assert!(sim.endpoint(ProcessId::new(3)).reconfiguring());
+        sim.crash_during_sync(ProcessId::new(3));
+        assert!(sim.endpoint(ProcessId::new(3)).is_crashed());
+        // The survivors complete a shrunken view, then p3 rejoins.
+        sim.form_view(&procs_of(&[1, 2]));
+        sim.run_to_quiescence();
+        sim.recover(ProcessId::new(3));
+        let v = sim.reconfigure(&procs(3));
+        sim.add_checker(LivenessSpec::new(v));
+        sim.run_to_quiescence();
+        sim.assert_clean();
+    }
+
+    #[test]
+    fn crash_and_recover_are_idempotent() {
+        let mut sim = Sim::new_paper(2, Config::default(), SimOptions::default());
+        sim.reconfigure(&procs(2));
+        sim.run_to_quiescence();
+        // Minimized chaos scenarios can lose the pairing step; double
+        // crash / stray recover must be harmless no-ops.
+        sim.recover(ProcessId::new(2));
+        sim.crash(ProcessId::new(2));
+        sim.crash(ProcessId::new(2));
+        sim.recover(ProcessId::new(2));
+        sim.recover(ProcessId::new(2));
+        let v = sim.reconfigure(&procs(2));
+        sim.add_checker(LivenessSpec::new(v));
+        sim.run_to_quiescence();
+        sim.assert_clean();
+        assert_eq!(sim.trace().kind_counts()["crash"], 1);
+        assert_eq!(sim.trace().kind_counts()["recover"], 1);
+    }
+
+    #[test]
+    fn suppressed_sync_stalls_the_view_change_and_liveness_catches_it() {
+        // The deliberate protocol bug for oracle validation: swallow one
+        // sync send while application messages are still in flight, so
+        // the agreed cut genuinely needs every member's sync. The round
+        // can never complete and the view is not installed — a pure
+        // liveness failure only the Property 4.2 checker can see.
+        let mut sim = Sim::new_paper(3, Config::default(), SimOptions::default());
+        sim.reconfigure(&procs(3));
+        sim.send(ProcessId::new(1), AppMsg::from("in flight"));
+        sim.send(ProcessId::new(2), AppMsg::from("also in flight"));
+        sim.suppress_sync(0);
+        let v = sim.reconfigure(&procs(3));
+        sim.add_checker(LivenessSpec::new(v));
+        sim.run_to_quiescence();
+        assert!(sim.suppressed_a_sync());
+        let violations = sim.finish();
+        assert!(
+            violations.iter().any(|viol| viol.checker.contains("LIVENESS")),
+            "expected a liveness violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic_and_clean() {
+        let run = || {
+            let mut sim = Sim::new_paper(
+                4,
+                Config::default(),
+                SimOptions { seed: 9, shuffle_polling: true, ..SimOptions::default() },
+            );
+            sim.set_fault_plan(FaultPlan {
+                drop: 0.3,
+                reorder_ms: 8,
+                burst: 0.05,
+                ..FaultPlan::default()
+            });
+            sim.reconfigure(&procs(4));
+            for i in 1..=4 {
+                sim.send(ProcessId::new(i), AppMsg::from("c"));
+            }
+            sim.run_to_quiescence();
+            sim.reconfigure(&procs_of(&[1, 2, 3]));
+            sim.run_to_quiescence();
+            sim.assert_clean();
+            sim.trace().to_json_lines()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -93,6 +93,24 @@ impl CheckSet {
         self
     }
 
+    /// Adds a checker mid-run, first replaying the already-recorded
+    /// `entries` into it (violations found during replay are retained).
+    /// This makes attach time irrelevant: the checker judges the whole
+    /// trace as if it had been present from the start.
+    pub fn add_with_history(
+        &mut self,
+        mut checker: impl Checker + 'static,
+        entries: &[TraceEntry],
+    ) -> &mut Self {
+        for e in entries {
+            if let Err(v) = checker.observe(e) {
+                self.violations.push(v);
+            }
+        }
+        self.checkers.push(Box::new(checker));
+        self
+    }
+
     /// Feeds one entry to every checker, retaining violations.
     pub fn observe(&mut self, entry: &TraceEntry) {
         for c in &mut self.checkers {

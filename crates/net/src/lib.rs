@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod latency;
 pub mod sim;
 pub mod stats;
 pub mod tcp;
 pub mod udp;
 
+pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultStats};
 pub use latency::LatencyModel;
 pub use sim::SimNet;
 pub use stats::NetStats;

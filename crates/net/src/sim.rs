@@ -1,5 +1,6 @@
 //! Deterministic discrete-event network implementing `CO_RFIFO` (Fig. 3).
 
+use crate::fault::{FaultAction, FaultInjector, FaultPlan, FaultStats};
 use crate::latency::LatencyModel;
 use crate::stats::NetStats;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -44,6 +45,8 @@ pub struct SimNet<M: Wire = NetMsg> {
     component: HashMap<ProcessId, u32>,
     crashed: HashSet<ProcessId>,
     stats: NetStats,
+    /// Optional chaos fault injector ([`SimNet::set_faults`]).
+    injector: Option<FaultInjector>,
 }
 
 impl<M: Wire> SimNet<M> {
@@ -65,7 +68,32 @@ impl<M: Wire> SimNet<M> {
             component,
             crashed: HashSet::new(),
             stats: NetStats::new(),
+            injector: None,
         }
+    }
+
+    /// Installs a chaos [`FaultPlan`]: from now on every enqueue consults
+    /// a [`FaultInjector`] seeded by forking this network's own rng, so
+    /// the whole faulty run stays a pure function of `(scenario, seed)`.
+    /// Passing a plan with nothing to inject removes the injector.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        if plan.is_none() {
+            self.injector = None;
+        } else {
+            let rng = self.rng.fork(0xFA);
+            self.injector = Some(FaultInjector::new(plan, rng));
+        }
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(FaultInjector::plan)
+    }
+
+    /// What the fault injector has done so far (zeroes when no plan is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.as_ref().map(FaultInjector::stats).unwrap_or_default()
     }
 
     /// The registered processes.
@@ -147,12 +175,31 @@ impl<M: Wire> SimNet<M> {
                 rec.counter(names::NET_DROPPED, 1);
                 continue;
             }
-            self.stats.record_send(msg);
-            rec.traffic(msg.tag(), msg.wire_size() as u64);
-            let chan = self.channels.entry((from, *q)).or_default();
-            let floor = chan.back().map_or(SimTime::ZERO, |m| m.arrival);
-            let arrival = (now + self.latency.sample(&mut self.rng)).max(floor);
-            chan.push_back(InFlight { msg: msg.clone(), sent: now, arrival });
+            // Chaos faults: loss/duplication only where the spec's `lose`
+            // is enabled (receiver outside the reliable set); extra delay
+            // anywhere (the asynchronous model never bounds latency).
+            let action = match &mut self.injector {
+                Some(inj) => inj.on_send(!reliable),
+                None => FaultAction::Deliver { copies: 1, extra_delay: SimTime::ZERO },
+            };
+            let (copies, extra_delay) = match action {
+                FaultAction::Drop => {
+                    // Injected lose(from, q): identical to the spec drop.
+                    self.stats.dropped += 1;
+                    rec.counter(names::NET_DROPPED, 1);
+                    continue;
+                }
+                FaultAction::Deliver { copies, extra_delay } => (copies, extra_delay),
+            };
+            for _ in 0..copies {
+                self.stats.record_send(msg);
+                rec.traffic(msg.tag(), msg.wire_size() as u64);
+                let chan = self.channels.entry((from, *q)).or_default();
+                let floor = chan.back().map_or(SimTime::ZERO, |m| m.arrival);
+                let arrival =
+                    (now + self.latency.sample(&mut self.rng) + extra_delay).max(floor);
+                chan.push_back(InFlight { msg: msg.clone(), sent: now, arrival });
+            }
         }
     }
 
@@ -480,6 +527,98 @@ mod tests {
         assert!(!net.is_idle());
         drain_all(&mut net);
         assert!(net.is_idle());
+    }
+
+    #[test]
+    fn fault_drop_spares_reliable_channels() {
+        let mut net = lan_net(3, 11);
+        net.set_reliable(p(1), set(&[1, 2])); // p3 NOT reliable
+        net.set_faults(FaultPlan { drop: 1.0, ..FaultPlan::default() });
+        for i in 0..20 {
+            net.send(SimTime::from_micros(i), p(1), &set(&[2, 3]), &app(&format!("m{i}")));
+        }
+        // Every copy to p2 arrives; every copy to p3 is lost.
+        assert_eq!(net.in_transit(p(1), p(2)), 20);
+        assert_eq!(net.in_transit(p(1), p(3)), 0);
+        assert_eq!(net.fault_stats().injected_drops, 20);
+        assert_eq!(net.stats().dropped, 20);
+    }
+
+    #[test]
+    fn fault_dup_enqueues_two_copies_on_unreliable_channel() {
+        let mut net = lan_net(2, 12);
+        net.set_reliable(p(1), set(&[1])); // p2 unreliable but connected
+        net.set_faults(FaultPlan { dup: 1.0, ..FaultPlan::default() });
+        net.send(SimTime::ZERO, p(1), &set(&[2]), &app("x"));
+        assert_eq!(net.in_transit(p(1), p(2)), 2);
+        assert_eq!(net.fault_stats().injected_dups, 1);
+        let got = drain_all(&mut net);
+        assert_eq!(got.len(), 2, "duplicate delivered twice");
+    }
+
+    #[test]
+    fn fault_jitter_keeps_per_channel_fifo() {
+        let mut net = lan_net(2, 13);
+        net.set_reliable(p(1), set(&[1, 2]));
+        net.set_faults(FaultPlan { reorder_ms: 30, ..FaultPlan::default() });
+        for i in 0..40 {
+            net.send(SimTime::from_micros(i), p(1), &set(&[2]), &app(&format!("m{i}")));
+        }
+        let got = drain_all(&mut net);
+        assert_eq!(got.len(), 40);
+        for (i, (_, _, m)) in got.iter().enumerate() {
+            assert_eq!(*m, app(&format!("m{i}")), "jitter must not reorder within a channel");
+        }
+        assert!(net.fault_stats().delayed > 0);
+    }
+
+    #[test]
+    fn fault_burst_loses_consecutive_unreliable_messages() {
+        let mut net = lan_net(2, 14);
+        net.set_reliable(p(1), set(&[1]));
+        net.set_faults(FaultPlan { burst: 1.0, burst_len: 64, ..FaultPlan::default() });
+        for i in 0..10 {
+            net.send(SimTime::from_micros(i), p(1), &set(&[2]), &app(&format!("m{i}")));
+        }
+        assert_eq!(net.in_transit(p(1), p(2)), 0, "whole burst window lost");
+        assert_eq!(net.fault_stats().injected_drops, 10);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = lan_net(3, seed);
+            net.set_reliable(p(1), set(&[1, 2]));
+            net.set_faults(FaultPlan {
+                drop: 0.4,
+                reorder_ms: 5,
+                burst: 0.1,
+                burst_len: 3,
+                ..FaultPlan::default()
+            });
+            for i in 0..50 {
+                net.send(SimTime::from_micros(i), p(1), &set(&[2, 3]), &app(&format!("{i}")));
+            }
+            let drained: Vec<String> = drain_all(&mut net)
+                .into_iter()
+                .map(|(a, b, m)| format!("{a}->{b}:{m:?}"))
+                .collect();
+            (drained, net.fault_stats())
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
+    }
+
+    #[test]
+    fn clearing_faults_restores_the_identity_network() {
+        let mut net = lan_net(2, 15);
+        net.set_reliable(p(1), set(&[1]));
+        net.set_faults(FaultPlan { drop: 1.0, ..FaultPlan::default() });
+        assert!(net.fault_plan().is_some());
+        net.set_faults(FaultPlan::none());
+        assert!(net.fault_plan().is_none());
+        net.send(SimTime::ZERO, p(1), &set(&[2]), &app("x"));
+        assert_eq!(net.in_transit(p(1), p(2)), 1);
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub struct NetStats {
     pub dropped: u64,
     /// Messages delivered to their destination.
     pub delivered: u64,
+    /// Reconnect attempts after a failed connect (live transports with
+    /// capped-backoff reconnection, e.g. [`crate::TcpTransport`]).
+    pub retries: u64,
+    /// Heartbeat frames sent to probe peer liveness (live transports).
+    pub heartbeats: u64,
 }
 
 impl NetStats {
@@ -37,6 +42,10 @@ impl NetStats {
             per_tag: reg.traffic_rows().map(|(tag, t)| (tag, (t.count, t.bytes))).collect(),
             dropped: reg.counter(vsgm_obs::names::NET_DROPPED),
             delivered: reg.counter(vsgm_obs::names::NET_DELIVERED),
+            // Transport-level counters: the simulated network neither
+            // reconnects nor heartbeats.
+            retries: 0,
+            heartbeats: 0,
         }
     }
 

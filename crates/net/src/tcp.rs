@@ -7,16 +7,36 @@
 //! [`NetMsg`]s; each direction of a pair uses its own connection,
 //! established lazily on first send and identified by an 8-byte process-id
 //! handshake.
+//!
+//! Robustness machinery (configurable via [`TcpConfig`]):
+//!
+//! * **Reconnect with capped exponential backoff + jitter** — a failed
+//!   connect is retried with delays `base, 2·base, …` capped at
+//!   `backoff_cap`, each padded with deterministic jitter (seeded
+//!   [`SimRng`]) so restarting peers are not stampeded in lock-step.
+//!   Retries are surfaced in [`NetStats::retries`].
+//! * **Heartbeats as a failure signal** — a zero-length frame is written
+//!   on every outgoing connection each `heartbeat_interval`; receivers
+//!   treat it as pure liveness. A peer that was heard from but has been
+//!   silent for longer than `suspect_after` shows up in
+//!   [`TcpTransport::suspected_peers`] — the transport-level failure
+//!   detector a membership service's suspicion input can be fed from.
 
+use crate::stats::NetStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use vsgm_ioa::SimRng;
 use vsgm_types::{NetMsg, ProcSet, ProcessId};
+
+/// Reject frames claiming more than this many bytes: a corrupted or
+/// malicious length prefix must not trigger an unbounded allocation.
+const MAX_FRAME: usize = 1 << 26; // 64 MiB
 
 /// A point-to-point message transport for GCS end-points.
 ///
@@ -57,36 +77,95 @@ pub trait Transport: Send {
 /// # }
 /// ```
 pub struct TcpTransport {
-    me: ProcessId,
+    shared: Arc<TcpShared>,
     local_addr: SocketAddr,
-    addr_book: Arc<Mutex<HashMap<ProcessId, SocketAddr>>>,
-    outgoing: Mutex<HashMap<ProcessId, TcpStream>>,
     incoming: Receiver<(ProcessId, NetMsg)>,
-    shutdown: Arc<AtomicBool>,
+    config: TcpConfig,
+    jitter: Mutex<SimRng>,
+}
+
+/// Robustness knobs for [`TcpTransport`].
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Failed connects are retried this many times before giving up.
+    pub max_reconnect_attempts: u32,
+    /// First reconnect delay; doubled per attempt (capped exponential).
+    pub backoff_base: Duration,
+    /// Ceiling for the reconnect delay.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter (up to half the delay).
+    pub jitter_seed: u64,
+    /// Zero-length heartbeat frames are written on every outgoing
+    /// connection at this interval; `Duration::ZERO` disables them.
+    pub heartbeat_interval: Duration,
+    /// A peer heard from before but silent for longer than this is
+    /// reported by [`TcpTransport::suspected_peers`].
+    pub suspect_after: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            max_reconnect_attempts: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+            jitter_seed: 0x7C9,
+            heartbeat_interval: Duration::from_millis(200),
+            suspect_after: Duration::from_secs(1),
+        }
+    }
+}
+
+/// State shared with the reader/accept/heartbeat threads.
+struct TcpShared {
+    me: ProcessId,
+    addr_book: Mutex<HashMap<ProcessId, SocketAddr>>,
+    outgoing: Mutex<HashMap<ProcessId, TcpStream>>,
+    /// Last time any frame (handshake, data, heartbeat) arrived per peer.
+    last_heard: Mutex<HashMap<ProcessId, Instant>>,
+    retries: AtomicU64,
+    heartbeats_sent: AtomicU64,
+    heartbeats_heard: AtomicU64,
+    shutdown: AtomicBool,
 }
 
 impl TcpTransport {
-    /// Binds a listener and starts the accept loop.
+    /// Binds a listener and starts the accept loop, with default
+    /// [`TcpConfig`].
     ///
     /// # Errors
     ///
     /// Returns any error from binding the listener.
     pub fn bind(me: ProcessId, addr: &str) -> io::Result<TcpTransport> {
+        TcpTransport::bind_with(me, addr, TcpConfig::default())
+    }
+
+    /// Binds a listener with explicit robustness knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener.
+    pub fn bind_with(me: ProcessId, addr: &str, config: TcpConfig) -> io::Result<TcpTransport> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let (tx, rx) = unbounded();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let t = TcpTransport {
+        let shared = Arc::new(TcpShared {
             me,
-            local_addr,
-            addr_book: Arc::new(Mutex::new(HashMap::new())),
+            addr_book: Mutex::new(HashMap::new()),
             outgoing: Mutex::new(HashMap::new()),
-            incoming: rx,
-            shutdown: Arc::clone(&shutdown),
-        };
-        spawn_accept_loop(listener, tx, shutdown);
-        Ok(t)
+            last_heard: Mutex::new(HashMap::new()),
+            retries: AtomicU64::new(0),
+            heartbeats_sent: AtomicU64::new(0),
+            heartbeats_heard: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        spawn_accept_loop(listener, tx, Arc::clone(&shared));
+        if config.heartbeat_interval > Duration::ZERO {
+            spawn_heartbeat_loop(Arc::clone(&shared), config.heartbeat_interval);
+        }
+        let jitter = Mutex::new(SimRng::new(config.jitter_seed ^ me.raw()));
+        Ok(TcpTransport { shared, local_addr, incoming: rx, config, jitter })
     }
 
     /// The address peers should connect to.
@@ -96,41 +175,92 @@ impl TcpTransport {
 
     /// Records where `peer` can be reached.
     pub fn register_peer(&self, peer: ProcessId, addr: SocketAddr) {
-        self.addr_book.lock().insert(peer, addr);
+        self.shared.addr_book.lock().insert(peer, addr);
+    }
+
+    /// Peers that were heard from (any frame, heartbeats included) but
+    /// have now been silent for longer than [`TcpConfig::suspect_after`]
+    /// — the transport's peer-failure signal.
+    pub fn suspected_peers(&self) -> ProcSet {
+        let now = Instant::now();
+        self.shared
+            .last_heard
+            .lock()
+            .iter()
+            .filter(|(_, at)| now.duration_since(**at) > self.config.suspect_after)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Transport-level accounting: reconnect [`NetStats::retries`] and
+    /// heartbeat frames sent ([`NetStats::heartbeats`]). Per-tag traffic
+    /// rows stay empty — message accounting happens in the layers above.
+    pub fn stats(&self) -> NetStats {
+        let mut s = NetStats::new();
+        s.retries = self.shared.retries.load(Ordering::Relaxed);
+        s.heartbeats = self.shared.heartbeats_sent.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Heartbeat frames received from peers (liveness evidence).
+    pub fn heartbeats_received(&self) -> u64 {
+        self.shared.heartbeats_heard.load(Ordering::Relaxed)
     }
 
     fn connection_to(&self, peer: ProcessId) -> io::Result<TcpStream> {
-        if let Some(s) = self.outgoing.lock().get(&peer) {
+        if let Some(s) = self.shared.outgoing.lock().get(&peer) {
             return s.try_clone();
         }
-        let addr = self.addr_book.lock().get(&peer).copied().ok_or_else(|| {
+        let addr = self.shared.addr_book.lock().get(&peer).copied().ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, format!("no address registered for {peer}"))
         })?;
+        // Capped exponential backoff with deterministic jitter: attempt,
+        // then sleep base·2^k (≤ cap) plus up to half that in jitter.
+        let mut delay = self.config.backoff_base;
+        let mut attempt = 0u32;
+        loop {
+            match self.try_connect(peer, addr) {
+                Ok(s) => return Ok(s),
+                Err(e) if attempt >= self.config.max_reconnect_attempts => return Err(e),
+                Err(_) => {
+                    attempt += 1;
+                    self.shared.retries.fetch_add(1, Ordering::Relaxed);
+                    let jitter_us =
+                        self.jitter.lock().range(0, (delay.as_micros() as u64) / 2 + 1);
+                    std::thread::sleep(delay + Duration::from_micros(jitter_us));
+                    delay = (delay * 2).min(self.config.backoff_cap);
+                }
+            }
+        }
+    }
+
+    fn try_connect(&self, peer: ProcessId, addr: SocketAddr) -> io::Result<TcpStream> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         // Handshake: announce who we are.
-        stream.write_all(&self.me.raw().to_le_bytes())?;
+        stream.write_all(&self.shared.me.raw().to_le_bytes())?;
         let clone = stream.try_clone()?;
-        self.outgoing.lock().insert(peer, stream);
+        self.shared.outgoing.lock().insert(peer, stream);
         Ok(clone)
     }
 }
 
 impl Transport for TcpTransport {
     fn me(&self) -> ProcessId {
-        self.me
+        self.shared.me
     }
 
     fn send(&self, to: &ProcSet, msg: &NetMsg) -> io::Result<()> {
         let frame = encode_frame(msg)?;
         for q in to {
-            if *q == self.me {
+            if *q == self.shared.me {
                 continue;
             }
             let result = self.connection_to(*q).and_then(|mut s| s.write_all(&frame));
             if let Err(e) = result {
-                // Drop the broken connection so the next send reconnects.
-                self.outgoing.lock().remove(q);
+                // Drop the broken connection so the next send reconnects
+                // (with backoff).
+                self.shared.outgoing.lock().remove(q);
                 return Err(e);
             }
         }
@@ -148,14 +278,14 @@ impl Transport for TcpTransport {
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
     }
 }
 
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpTransport")
-            .field("me", &self.me)
+            .field("me", &self.shared.me)
             .field("local_addr", &self.local_addr)
             .finish()
     }
@@ -172,19 +302,19 @@ fn encode_frame(msg: &NetMsg) -> io::Result<Vec<u8>> {
 fn spawn_accept_loop(
     listener: TcpListener,
     tx: Sender<(ProcessId, NetMsg)>,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<TcpShared>,
 ) {
     std::thread::Builder::new()
         .name("vsgm-tcp-accept".into())
         .spawn(move || {
-            while !shutdown.load(Ordering::SeqCst) {
+            while !shared.shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let tx = tx.clone();
-                        let shutdown = Arc::clone(&shutdown);
+                        let shared = Arc::clone(&shared);
                         std::thread::Builder::new()
                             .name("vsgm-tcp-reader".into())
-                            .spawn(move || reader_loop(stream, tx, shutdown))
+                            .spawn(move || reader_loop(stream, tx, shared))
                             // vsgm-allow(P1): thread-spawn failure is OS
                             // resource exhaustion at transport startup —
                             // not a protocol state, nothing to unwind to
@@ -202,7 +332,41 @@ fn spawn_accept_loop(
         .expect("spawn accept thread");
 }
 
-fn reader_loop(mut stream: TcpStream, tx: Sender<(ProcessId, NetMsg)>, shutdown: Arc<AtomicBool>) {
+/// Periodically writes a zero-length frame on every outgoing connection.
+/// A write failure tears the connection down, so the next send reconnects
+/// with backoff — dead peers are detected even when the application has
+/// nothing to say.
+fn spawn_heartbeat_loop(shared: Arc<TcpShared>, interval: Duration) {
+    std::thread::Builder::new()
+        .name("vsgm-tcp-heartbeat".into())
+        .spawn(move || {
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                let conns: Vec<(ProcessId, io::Result<TcpStream>)> = shared
+                    .outgoing
+                    .lock()
+                    .iter()
+                    .map(|(p, s)| (*p, s.try_clone()))
+                    .collect();
+                for (peer, conn) in conns {
+                    let ok = match conn {
+                        Ok(mut s) => s.write_all(&0u32.to_le_bytes()).is_ok(),
+                        Err(_) => false,
+                    };
+                    if ok {
+                        shared.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shared.outgoing.lock().remove(&peer);
+                    }
+                }
+            }
+        })
+        // vsgm-allow(P1): thread-spawn failure is OS resource exhaustion
+        // at transport startup — not a protocol state, nothing to unwind to
+        .expect("spawn heartbeat thread");
+}
+
+fn reader_loop(mut stream: TcpStream, tx: Sender<(ProcessId, NetMsg)>, shared: Arc<TcpShared>) {
     if stream.set_nodelay(true).is_err() {
         return;
     }
@@ -212,17 +376,30 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<(ProcessId, NetMsg)>, shutdown:
         return;
     }
     let peer = ProcessId::new(u64::from_le_bytes(id_buf));
+    shared.last_heard.lock().insert(peer, Instant::now());
     let mut len_buf = [0u8; 4];
-    while !shutdown.load(Ordering::SeqCst) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
         if stream.read_exact(&mut len_buf).is_err() {
             return;
         }
         let len = u32::from_le_bytes(len_buf) as usize;
+        if len == 0 {
+            // Heartbeat: pure liveness, no payload.
+            shared.heartbeats_heard.fetch_add(1, Ordering::Relaxed);
+            shared.last_heard.lock().insert(peer, Instant::now());
+            continue;
+        }
+        if len > MAX_FRAME {
+            // A corrupt length prefix poisons the whole stream (framing is
+            // lost); drop the connection rather than allocate unboundedly.
+            return;
+        }
         let mut body = vec![0u8; len];
         if stream.read_exact(&mut body).is_err() {
             return;
         }
         let Ok(msg) = serde_json::from_slice::<NetMsg>(&body) else { return };
+        shared.last_heard.lock().insert(peer, Instant::now());
         if tx.send((peer, msg)).is_err() {
             return;
         }
@@ -304,6 +481,70 @@ mod tests {
         a.send(&only(2), &NetMsg::App(payload.clone())).unwrap();
         let (_, msg) = b.recv_timeout(Duration::from_secs(10)).expect("large frame arrives");
         assert_eq!(msg, NetMsg::App(payload));
+    }
+
+    #[test]
+    fn reconnect_backoff_counts_retries_then_recovers() {
+        // Point a at a listener that has gone away: the send fails after
+        // the configured retries, each counted in the stats.
+        let gone = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = gone.local_addr().unwrap();
+        drop(gone);
+        let a = TcpTransport::bind_with(
+            p(1),
+            "127.0.0.1:0",
+            TcpConfig {
+                max_reconnect_attempts: 3,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(4),
+                ..TcpConfig::default()
+            },
+        )
+        .unwrap();
+        a.register_peer(p(2), addr);
+        assert!(a.send(&only(2), &NetMsg::App(AppMsg::from("x"))).is_err());
+        assert_eq!(a.stats().retries, 3);
+        // The peer comes back on the same address: the next send
+        // reconnects and delivers.
+        let b = TcpTransport::bind(p(2), &addr.to_string()).unwrap();
+        a.send(&only(2), &NetMsg::App(AppMsg::from("again"))).unwrap();
+        let (from, msg) = b.recv_timeout(Duration::from_secs(5)).expect("delivered after restart");
+        assert_eq!(from, p(1));
+        assert_eq!(msg, NetMsg::App(AppMsg::from("again")));
+        assert!(a.stats().retries >= 3);
+    }
+
+    #[test]
+    fn heartbeats_flow_and_silent_peers_are_suspected() {
+        let fast = TcpConfig {
+            heartbeat_interval: Duration::from_millis(10),
+            suspect_after: Duration::from_millis(120),
+            ..TcpConfig::default()
+        };
+        let a = TcpTransport::bind_with(p(1), "127.0.0.1:0", fast.clone()).unwrap();
+        let b = TcpTransport::bind_with(p(2), "127.0.0.1:0", fast).unwrap();
+        a.register_peer(p(2), b.local_addr());
+        b.register_peer(p(1), a.local_addr());
+        // Establish both directions so heartbeats flow both ways.
+        a.send(&only(2), &NetMsg::App(AppMsg::from("hi"))).unwrap();
+        b.recv_timeout(Duration::from_secs(5)).unwrap();
+        b.send(&only(1), &NetMsg::App(AppMsg::from("yo"))).unwrap();
+        a.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Heartbeats keep the peer un-suspected while it lives.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.heartbeats_received() == 0 {
+            assert!(Instant::now() < deadline, "no heartbeat ever arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(a.stats().heartbeats > 0, "a never sent a heartbeat");
+        assert!(a.suspected_peers().is_empty(), "live peer suspected");
+        // Kill b: its heartbeats stop, and silence crosses suspect_after.
+        drop(b);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !a.suspected_peers().contains(&p(2)) {
+            assert!(Instant::now() < deadline, "dead peer never suspected");
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     #[test]

@@ -99,9 +99,12 @@ impl Checker for LivenessSpec {
                 Ok(())
             }
             Event::Crash { p } => {
-                if self.target.contains(*p) {
-                    // A member crashing breaks stabilization (the
-                    // membership will reconfigure).
+                // A member crashing after stabilization breaks the
+                // premise (the membership will reconfigure). A crash
+                // *before* the target view reached `p` is history the
+                // stabilized suffix already accounts for — essential now
+                // that `Sim::add_checker` replays the recorded prefix.
+                if self.target.contains(*p) && self.mbrshp_seen.contains_key(p) {
                     self.premise_broken = true;
                 }
                 Ok(())
@@ -233,6 +236,18 @@ mod tests {
         let mut events = stabilize();
         events.push(Event::Crash { p: p(2) });
         assert!(run(events).is_empty());
+    }
+
+    #[test]
+    fn crash_before_stabilization_does_not_vacuate() {
+        // §8 history replayed into a late-attached checker: the member
+        // crashed (and implicitly recovered) before the target view; the
+        // stabilized suffix is still binding.
+        let mut events = vec![Event::Crash { p: p(2) }, Event::Recover { p: p(2) }];
+        events.extend(stabilize());
+        let violations = run(events);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].message.contains("never delivered"));
     }
 
     #[test]

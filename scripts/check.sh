@@ -25,4 +25,11 @@ cargo clippy --workspace "${CARGO_FLAGS[@]}" -- -D warnings
 echo "==> vsgm-analyze --format json"
 cargo run -q -p vsgm-analyze "${CARGO_FLAGS[@]}" -- --format json
 
+# Chaos smoke: randomized fault-injection search over a fixed seed batch.
+# Every generated scenario must pass the full checker suite (exit 0); the
+# run is deterministic, so a failure here is a reproducible protocol bug —
+# rerun with `--seed <n> --minimize` to shrink it.
+echo "==> chaos --seeds 100"
+cargo run -q --release -p vsgm-chaos --bin chaos "${CARGO_FLAGS[@]}" -- --seeds 100 --format json >/dev/null
+
 echo "==> all checks passed"
