@@ -14,6 +14,12 @@ use std::collections::{BTreeMap, BTreeSet};
 /// `chaos` is held to the same bar: seed-replayable search would silently
 /// rot if a HashMap or ambient clock crept into the generator/minimizer.
 pub const D1_CRATES: [&str; 5] = ["core", "membership", "types", "spec", "chaos"];
+/// Individual files outside [`D1_CRATES`] held to the determinism bar.
+/// The wire codec lives in `net` (a real-transport crate that is
+/// otherwise free to use ambient time), but its encoding must be
+/// byte-deterministic — golden vectors and cross-peer interop depend on
+/// it — so it is pinned here by path.
+pub const D1_FILES: [&str; 1] = ["crates/net/src/codec.rs"];
 /// Crates whose non-test code must be panic-free (P1).
 pub const P1_CRATES: [&str; 4] = ["core", "membership", "net", "spec"];
 /// Crates holding precondition/effect transition functions (I1).
@@ -64,7 +70,11 @@ const D1_TIME_HINT: &str = "deterministic crates take time/randomness as explici
 /// randomness in the deterministic protocol crates.
 pub fn d1(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
-    for f in files.iter().filter(|f| in_crate_src(f, &D1_CRATES)) {
+    let covered = |f: &&SourceFile| {
+        in_crate_src(f, &D1_CRATES)
+            || (f.kind == FileKind::Src && D1_FILES.contains(&f.rel.as_str()))
+    };
+    for f in files.iter().filter(covered) {
         let krate = f.crate_name.as_deref().unwrap_or("?");
         for (line, text) in code_lines(f) {
             for coll in ["HashMap", "HashSet"] {

@@ -61,6 +61,40 @@ fn d1_ignores_crates_outside_its_scope() {
     assert!(report.is_clean(), "harness is not a D1 crate: {:?}", report.findings);
 }
 
+#[test]
+fn d1_covers_the_wire_codec_by_path() {
+    // `net` as a whole is exempt from D1 (real transports need ambient
+    // time), but the wire codec is pinned to the determinism bar by file
+    // path: its byte output backs golden vectors and cross-peer interop.
+    let root = fixture(
+        "d1-codec-file",
+        &[
+            (
+                "crates/net/src/codec.rs",
+                "use std::collections::HashMap;\npub fn f() {}\n",
+            ),
+            ("crates/net/src/tcp.rs", "use std::collections::HashMap;\npub fn g() {}\n"),
+        ],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    let d1_files: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "D1")
+        .map(|f| f.file.as_str())
+        .collect();
+    assert!(
+        d1_files.contains(&"crates/net/src/codec.rs"),
+        "codec.rs must be D1-covered: {:?}",
+        report.findings
+    );
+    assert!(
+        !d1_files.contains(&"crates/net/src/tcp.rs"),
+        "the rest of net stays out of D1 scope: {:?}",
+        report.findings
+    );
+}
+
 // ---------------------------------------------------------------- P1 ---
 
 #[test]

@@ -1,0 +1,125 @@
+//! Net-layer throughput: JSON vs binary codec × per-send vs coalesced
+//! flushing, over the real TCP transport on loopback.
+//!
+//! Beyond the Criterion display benches, this bench writes a machine-
+//! readable `BENCH_net.json` (path overridable via `VSGM_BENCH_JSON`)
+//! with frames/sec per arm and the headline speedup of the rebuilt send
+//! path — binary coalesced over per-message JSON — which EXPERIMENTS.md
+//! tracks against its ≥2× claim. `VSGM_NET_BENCH_MSGS` scales the burst
+//! size (default 8000 frames per arm).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::{Duration, Instant};
+use vsgm_net::{TcpConfig, TcpTransport, Transport, WireFormat};
+use vsgm_types::{AppMsg, NetMsg, ProcSet, ProcessId};
+
+const PAYLOAD_BYTES: usize = 96;
+
+fn burst_size() -> u64 {
+    std::env::var("VSGM_NET_BENCH_MSGS").ok().and_then(|s| s.parse().ok()).unwrap_or(8_000)
+}
+
+fn arm_config(format: WireFormat, coalesce: bool) -> TcpConfig {
+    TcpConfig {
+        wire_format: format,
+        // `max_coalesce_frames: 1` degenerates the writer to one flush per
+        // frame — the old per-send write behavior, kept as a baseline arm.
+        max_coalesce_frames: if coalesce { 256 } else { 1 },
+        writer_queue: 4096,
+        enqueue_timeout: Duration::from_secs(30),
+        // No heartbeats: measure the data path alone.
+        heartbeat_interval: Duration::ZERO,
+        ..TcpConfig::default()
+    }
+}
+
+/// Sends `msgs` frames over a fresh loopback pair and drains them all;
+/// returns frames/sec from first send to last receive.
+fn run_arm(format: WireFormat, coalesce: bool, msgs: u64) -> f64 {
+    let p1 = ProcessId::new(1);
+    let p2 = ProcessId::new(2);
+    let config = arm_config(format, coalesce);
+    let a = TcpTransport::bind_with(p1, "127.0.0.1:0", config.clone()).unwrap();
+    let b = TcpTransport::bind_with(p2, "127.0.0.1:0", config).unwrap();
+    a.register_peer(p2, b.local_addr());
+    let to: ProcSet = [p2].into_iter().collect();
+    let msg = NetMsg::App(AppMsg::from(vec![0xAB; PAYLOAD_BYTES]));
+    // Warm the connection so the handshake is outside the timed region.
+    a.send(&to, &msg).unwrap();
+    b.recv_timeout(Duration::from_secs(10)).expect("warmup frame");
+
+    let start = Instant::now();
+    for _ in 0..msgs {
+        a.send(&to, &msg).unwrap();
+    }
+    for _ in 0..msgs {
+        b.recv_timeout(Duration::from_secs(30)).expect("bench frame lost");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    msgs as f64 / secs.max(f64::EPSILON)
+}
+
+struct Arm {
+    name: &'static str,
+    format: WireFormat,
+    coalesce: bool,
+}
+
+const ARMS: [Arm; 4] = [
+    Arm { name: "json_per_send", format: WireFormat::Json, coalesce: false },
+    Arm { name: "json_coalesced", format: WireFormat::Json, coalesce: true },
+    Arm { name: "binary_per_send", format: WireFormat::Binary, coalesce: false },
+    Arm { name: "binary_coalesced", format: WireFormat::Binary, coalesce: true },
+];
+
+fn emit_json(rates: &[(&'static str, f64)]) {
+    let path = std::env::var("VSGM_BENCH_JSON").unwrap_or_else(|_| "BENCH_net.json".into());
+    let speedup = {
+        let rate = |n: &str| rates.iter().find(|(a, _)| *a == n).map_or(0.0, |(_, r)| *r);
+        let base = rate("json_per_send");
+        if base > 0.0 { rate("binary_coalesced") / base } else { 0.0 }
+    };
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"net_throughput\",\n");
+    body.push_str(&format!("  \"payload_bytes\": {PAYLOAD_BYTES},\n"));
+    body.push_str(&format!("  \"msgs_per_arm\": {},\n", burst_size()));
+    body.push_str("  \"frames_per_sec\": {\n");
+    for (i, (name, rate)) in rates.iter().enumerate() {
+        let comma = if i + 1 == rates.len() { "" } else { "," };
+        body.push_str(&format!("    \"{name}\": {rate:.1}{comma}\n"));
+    }
+    body.push_str("  },\n");
+    body.push_str(&format!(
+        "  \"speedup_binary_coalesced_over_json_per_send\": {speedup:.2}\n"
+    ));
+    body.push_str("}\n");
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("net_throughput: wrote {path} (speedup {speedup:.2}x)"),
+        Err(e) => eprintln!("net_throughput: cannot write {path}: {e}"),
+    }
+}
+
+fn net_bench(c: &mut Criterion) {
+    let msgs = burst_size();
+    let mut rates: Vec<(&'static str, f64)> = Vec::new();
+    for arm in &ARMS {
+        let rate = run_arm(arm.format, arm.coalesce, msgs);
+        println!("net_throughput/{:<18} {rate:>12.0} frames/s ({msgs} frames)", arm.name);
+        rates.push((arm.name, rate));
+    }
+    emit_json(&rates);
+
+    // Criterion display benches over the same arms (budget-bounded).
+    let mut g = c.benchmark_group("net_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(msgs));
+    for arm in &ARMS {
+        g.bench_function(arm.name, |b| {
+            b.iter(|| run_arm(arm.format, arm.coalesce, msgs.min(1_000)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, net_bench);
+criterion_main!(benches);

@@ -1,0 +1,544 @@
+//! Wire codec for [`NetMsg`] frames: a compact, deterministic binary
+//! format with transparent JSON interop.
+//!
+//! Every frame body starts with a discriminating first byte. Binary
+//! bodies begin with the version byte [`BINARY_V1`] (`0x01`); JSON bodies
+//! begin with `{` (`0x7B`, the first byte of every serde_json-encoded
+//! `NetMsg`). [`decode_body`] sniffs that byte, so a group can run mixed
+//! JSON and binary peers during a rolling transition and every receiver
+//! understands both.
+//!
+//! The binary layout is fixed-width little-endian, length-prefixed, and
+//! *deterministic*: all maps and sets in `NetMsg` are `BTreeMap`/
+//! `BTreeSet`, so iteration — and therefore the encoded bytes — depend
+//! only on the message value. Layout (all integers LE):
+//!
+//! ```text
+//! body      := 0x01 msg
+//! msg       := tag:u8 payload
+//! tag       := 0 ViewMsg | 1 App | 2 Fwd | 3 Sync | 4 SyncAgg
+//!            | 5 Baseline::Propose | 6 Baseline::Sync
+//! view      := epoch:u64 proposer:u64 n:u32 (pid:u64 cid:u64)^n
+//! cut       := n:u32 (pid:u64 index:u64)^n
+//! bytes     := n:u32 byte^n
+//! sync      := cid:u64 has_view:u8 [view] cut
+//! payloads:
+//!   ViewMsg := view
+//!   App     := bytes
+//!   Fwd     := origin:u64 view index:u64 bytes
+//!   Sync    := sync
+//!   SyncAgg := n:u32 (pid:u64 sync)^n
+//!   Propose := n:u32 pid:u64^n seq:u64
+//!   BlSync  := n:u32 pid:u64^n tag_seq:u64 tag_pid:u64 view cut
+//! ```
+//!
+//! [`decode_body`] is total: no input can panic, allocate unboundedly, or
+//! read past the frame. Element counts are validated against the bytes
+//! actually remaining before any allocation, and trailing garbage after a
+//! well-formed message rejects the frame.
+
+use std::io;
+use vsgm_types::{
+    AppMsg, BaselineMsg, Cut, FwdPayload, NetMsg, ProcessId, StartChangeId, SyncPayload, View,
+    ViewId,
+};
+
+/// Version byte opening every binary-coded frame body. Distinct from `{`
+/// (0x7B), the first byte of every JSON-coded body, so receivers can
+/// sniff the format per frame. Future binary revisions get new bytes.
+pub const BINARY_V1: u8 = 0x01;
+
+const TAG_VIEW_MSG: u8 = 0;
+const TAG_APP: u8 = 1;
+const TAG_FWD: u8 = 2;
+const TAG_SYNC: u8 = 3;
+const TAG_SYNC_AGG: u8 = 4;
+const TAG_BL_PROPOSE: u8 = 5;
+const TAG_BL_SYNC: u8 = 6;
+
+/// Encoding selected for *outgoing* frames. Decoding always accepts both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// serde_json body — the legacy format, kept for rolling transitions
+    /// and human-readable captures.
+    Json,
+    /// The compact binary format above (default).
+    #[default]
+    Binary,
+}
+
+/// Encodes a message body (no length prefix) in the chosen format.
+///
+/// # Errors
+///
+/// Returns an error only for [`WireFormat::Json`] serialization failures;
+/// binary encoding is infallible.
+pub fn encode_body(msg: &NetMsg, format: WireFormat) -> io::Result<Vec<u8>> {
+    match format {
+        WireFormat::Json => Ok(serde_json::to_vec(msg)?),
+        WireFormat::Binary => {
+            let mut out = Vec::with_capacity(msg.wire_size() + 16);
+            out.push(BINARY_V1);
+            enc_msg(&mut out, msg);
+            Ok(out)
+        }
+    }
+}
+
+/// Encodes a complete length-prefixed frame: `len:u32le body`.
+///
+/// # Errors
+///
+/// Propagates [`encode_body`] errors.
+pub fn encode_frame(msg: &NetMsg, format: WireFormat) -> io::Result<Vec<u8>> {
+    let body = encode_body(msg, format)?;
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
+/// Decodes a frame body, sniffing the format from its first byte:
+/// [`BINARY_V1`] selects the binary decoder, anything else is handed to
+/// the JSON decoder. Returns `None` for any malformed input.
+pub fn decode_body(body: &[u8]) -> Option<NetMsg> {
+    match body.split_first() {
+        Some((&BINARY_V1, rest)) => {
+            let mut cur = Cur { b: rest };
+            let msg = dec_msg(&mut cur)?;
+            // Trailing bytes mean a corrupt or misframed body.
+            cur.b.is_empty().then_some(msg)
+        }
+        _ => serde_json::from_slice(body).ok(),
+    }
+}
+
+// ------------------------------------------------------------ encode ---
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_view(out: &mut Vec<u8>, v: &View) {
+    put_u64(out, v.id().epoch);
+    put_u64(out, v.id().proposer);
+    put_u32(out, v.start_ids().len() as u32);
+    for (p, cid) in v.start_ids() {
+        put_u64(out, p.raw());
+        put_u64(out, cid.raw());
+    }
+}
+
+fn put_cut(out: &mut Vec<u8>, c: &Cut) {
+    put_u32(out, c.len() as u32);
+    for (p, i) in c.iter() {
+        put_u64(out, p.raw());
+        put_u64(out, i);
+    }
+}
+
+fn put_sync(out: &mut Vec<u8>, s: &SyncPayload) {
+    put_u64(out, s.cid.raw());
+    match &s.view {
+        Some(v) => {
+            out.push(1);
+            put_view(out, v);
+        }
+        None => out.push(0),
+    }
+    put_cut(out, &s.cut);
+}
+
+fn enc_msg(out: &mut Vec<u8>, msg: &NetMsg) {
+    match msg {
+        NetMsg::ViewMsg(v) => {
+            out.push(TAG_VIEW_MSG);
+            put_view(out, v);
+        }
+        NetMsg::App(m) => {
+            out.push(TAG_APP);
+            put_bytes(out, m.as_bytes());
+        }
+        NetMsg::Fwd(f) => {
+            out.push(TAG_FWD);
+            put_u64(out, f.origin.raw());
+            put_view(out, &f.view);
+            put_u64(out, f.index);
+            put_bytes(out, f.msg.as_bytes());
+        }
+        NetMsg::Sync(s) => {
+            out.push(TAG_SYNC);
+            put_sync(out, s);
+        }
+        NetMsg::SyncAgg(batch) => {
+            out.push(TAG_SYNC_AGG);
+            put_u32(out, batch.len() as u32);
+            for (p, s) in batch {
+                put_u64(out, p.raw());
+                put_sync(out, s);
+            }
+        }
+        NetMsg::Baseline(BaselineMsg::Propose { participants, seq }) => {
+            out.push(TAG_BL_PROPOSE);
+            put_u32(out, participants.len() as u32);
+            for p in participants {
+                put_u64(out, p.raw());
+            }
+            put_u64(out, *seq);
+        }
+        NetMsg::Baseline(BaselineMsg::Sync { participants, tag, view, cut }) => {
+            out.push(TAG_BL_SYNC);
+            put_u32(out, participants.len() as u32);
+            for p in participants {
+                put_u64(out, p.raw());
+            }
+            put_u64(out, tag.0);
+            put_u64(out, tag.1);
+            put_view(out, view);
+            put_cut(out, cut);
+        }
+    }
+}
+
+// ------------------------------------------------------------ decode ---
+
+/// Bounds-checked read cursor over a frame body.
+struct Cur<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Cur<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let (first, rest) = self.b.split_first()?;
+        self.b = rest;
+        Some(*first)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let (chunk, rest) = self.b.split_first_chunk::<4>()?;
+        self.b = rest;
+        Some(u32::from_le_bytes(*chunk))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let (chunk, rest) = self.b.split_first_chunk::<8>()?;
+        self.b = rest;
+        Some(u64::from_le_bytes(*chunk))
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.b.len() < n {
+            return None;
+        }
+        let (head, rest) = self.b.split_at(n);
+        self.b = rest;
+        Some(head)
+    }
+
+    /// Reads an element count and rejects it if the remaining bytes could
+    /// not possibly hold that many entries of `min_entry_bytes` each —
+    /// the guard that keeps a hostile count from triggering a huge
+    /// allocation.
+    fn count(&mut self, min_entry_bytes: usize) -> Option<usize> {
+        let n = self.u32()? as usize;
+        (self.b.len() / min_entry_bytes.max(1) >= n).then_some(n)
+    }
+}
+
+fn dec_view(cur: &mut Cur<'_>) -> Option<View> {
+    let epoch = cur.u64()?;
+    let proposer = cur.u64()?;
+    let n = cur.count(16)?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = ProcessId::new(cur.u64()?);
+        let cid = StartChangeId::new(cur.u64()?);
+        pairs.push((p, cid));
+    }
+    // `View::new` asserts members == startId keys; both are derived from
+    // the same pairs here, so the assertion cannot fire.
+    let members: Vec<ProcessId> = pairs.iter().map(|(p, _)| *p).collect();
+    Some(View::new(ViewId::new(epoch, proposer), members, pairs))
+}
+
+fn dec_cut(cur: &mut Cur<'_>) -> Option<Cut> {
+    let n = cur.count(16)?;
+    let mut cut = Cut::new();
+    for _ in 0..n {
+        let p = ProcessId::new(cur.u64()?);
+        let i = cur.u64()?;
+        cut.set(p, i);
+    }
+    Some(cut)
+}
+
+fn dec_app(cur: &mut Cur<'_>) -> Option<AppMsg> {
+    let n = cur.count(1)?;
+    Some(AppMsg::new(cur.bytes(n)?.to_vec()))
+}
+
+fn dec_sync(cur: &mut Cur<'_>) -> Option<SyncPayload> {
+    let cid = StartChangeId::new(cur.u64()?);
+    let view = match cur.u8()? {
+        0 => None,
+        1 => Some(dec_view(cur)?),
+        _ => return None,
+    };
+    let cut = dec_cut(cur)?;
+    Some(SyncPayload { cid, view, cut })
+}
+
+fn dec_msg(cur: &mut Cur<'_>) -> Option<NetMsg> {
+    match cur.u8()? {
+        TAG_VIEW_MSG => Some(NetMsg::ViewMsg(dec_view(cur)?)),
+        TAG_APP => Some(NetMsg::App(dec_app(cur)?)),
+        TAG_FWD => {
+            let origin = ProcessId::new(cur.u64()?);
+            let view = dec_view(cur)?;
+            let index = cur.u64()?;
+            let msg = dec_app(cur)?;
+            Some(NetMsg::Fwd(FwdPayload { origin, view, index, msg }))
+        }
+        TAG_SYNC => Some(NetMsg::Sync(dec_sync(cur)?)),
+        TAG_SYNC_AGG => {
+            let n = cur.count(17)?;
+            let mut batch = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = ProcessId::new(cur.u64()?);
+                batch.push((p, dec_sync(cur)?));
+            }
+            Some(NetMsg::SyncAgg(batch))
+        }
+        TAG_BL_PROPOSE => {
+            let n = cur.count(8)?;
+            let mut participants = std::collections::BTreeSet::new();
+            for _ in 0..n {
+                participants.insert(ProcessId::new(cur.u64()?));
+            }
+            let seq = cur.u64()?;
+            Some(NetMsg::Baseline(BaselineMsg::Propose { participants, seq }))
+        }
+        TAG_BL_SYNC => {
+            let n = cur.count(8)?;
+            let mut participants = std::collections::BTreeSet::new();
+            for _ in 0..n {
+                participants.insert(ProcessId::new(cur.u64()?));
+            }
+            let tag = (cur.u64()?, cur.u64()?);
+            let view = dec_view(cur)?;
+            let cut = dec_cut(cur)?;
+            Some(NetMsg::Baseline(BaselineMsg::Sync { participants, tag, view, cut }))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsgm_ioa::SimRng;
+
+    fn p(i: u64) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample_view() -> View {
+        View::new(
+            ViewId::new(3, 1),
+            [p(1), p(2), p(5)],
+            [
+                (p(1), StartChangeId::new(4)),
+                (p(2), StartChangeId::new(7)),
+                (p(5), StartChangeId::new(0)),
+            ],
+        )
+    }
+
+    fn sample_msgs() -> Vec<NetMsg> {
+        let v = sample_view();
+        vec![
+            NetMsg::ViewMsg(v.clone()),
+            NetMsg::App(AppMsg::from("payload")),
+            NetMsg::App(AppMsg::default()),
+            NetMsg::Fwd(FwdPayload {
+                origin: p(2),
+                view: v.clone(),
+                index: 9,
+                msg: AppMsg::from(vec![0u8, 255, 7]),
+            }),
+            NetMsg::Sync(SyncPayload {
+                cid: StartChangeId::new(5),
+                view: Some(v.clone()),
+                cut: Cut::from_iter([(p(1), 2), (p(2), 0)]),
+            }),
+            NetMsg::Sync(SyncPayload {
+                cid: StartChangeId::new(6),
+                view: None,
+                cut: Cut::new(),
+            }),
+            NetMsg::SyncAgg(vec![
+                (
+                    p(1),
+                    SyncPayload {
+                        cid: StartChangeId::new(1),
+                        view: Some(v.clone()),
+                        cut: Cut::from_iter([(p(1), 1)]),
+                    },
+                ),
+                (
+                    p(2),
+                    SyncPayload { cid: StartChangeId::new(2), view: None, cut: Cut::new() },
+                ),
+            ]),
+            NetMsg::Baseline(BaselineMsg::Propose {
+                participants: [p(1), p(2)].into_iter().collect(),
+                seq: 11,
+            }),
+            NetMsg::Baseline(BaselineMsg::Sync {
+                participants: [p(1), p(2)].into_iter().collect(),
+                tag: (11, 1),
+                view: v,
+                cut: Cut::from_iter([(p(2), 3)]),
+            }),
+        ]
+    }
+
+    #[test]
+    fn binary_roundtrip_all_variants() {
+        for m in sample_msgs() {
+            let body = encode_body(&m, WireFormat::Binary).unwrap();
+            assert_eq!(body.first(), Some(&BINARY_V1), "{m:?}");
+            assert_eq!(decode_body(&body), Some(m.clone()), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn json_bodies_still_decode() {
+        for m in sample_msgs() {
+            let body = encode_body(&m, WireFormat::Json).unwrap();
+            assert_eq!(body.first(), Some(&b'{'), "JSON body must open an object");
+            assert_eq!(decode_body(&body), Some(m.clone()), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        for m in sample_msgs() {
+            let bin = encode_body(&m, WireFormat::Binary).unwrap();
+            let json = encode_body(&m, WireFormat::Json).unwrap();
+            assert!(
+                bin.len() < json.len(),
+                "binary {} >= json {} for {m:?}",
+                bin.len(),
+                json.len()
+            );
+        }
+    }
+
+    /// Pinned golden bytes: the binary wire format is a compatibility
+    /// surface. If this test breaks, you changed the format — bump
+    /// [`BINARY_V1`] to a new version byte instead of mutating v1.
+    #[test]
+    fn golden_bytes_are_stable() {
+        let msg = NetMsg::Sync(SyncPayload {
+            cid: StartChangeId::new(5),
+            view: Some(View::new(
+                ViewId::new(3, 1),
+                [p(1), p(2)],
+                [(p(1), StartChangeId::new(4)), (p(2), StartChangeId::new(7))],
+            )),
+            cut: Cut::from_iter([(p(1), 2), (p(2), 0)]),
+        });
+        let body = encode_body(&msg, WireFormat::Binary).unwrap();
+        let hex: String = body.iter().map(|b| format!("{b:02x}")).collect();
+        let expected = concat!(
+            "01",               // BINARY_V1
+            "03",               // tag: Sync
+            "0500000000000000", // cid = 5
+            "01",               // has_view = 1
+            "0300000000000000", // view epoch = 3
+            "0100000000000000", // view proposer = 1
+            "02000000",         // 2 members
+            "0100000000000000", // p1
+            "0400000000000000", // cid 4
+            "0200000000000000", // p2
+            "0700000000000000", // cid 7
+            "02000000",         // cut: 2 entries
+            "0100000000000000", // p1
+            "0200000000000000", // -> 2
+            "0200000000000000", // p2
+            "0000000000000000", // -> 0
+        );
+        assert_eq!(hex, expected);
+        assert_eq!(decode_body(&body), Some(msg));
+    }
+
+    #[test]
+    fn frame_is_length_prefixed_body() {
+        let msg = NetMsg::App(AppMsg::from("abc"));
+        let frame = encode_frame(&msg, WireFormat::Binary).unwrap();
+        let (len, body) = frame.split_first_chunk::<4>().unwrap();
+        assert_eq!(u32::from_le_bytes(*len) as usize, body.len());
+        assert_eq!(decode_body(body), Some(msg));
+    }
+
+    /// Decoder totality over a hostile corpus: truncations of every valid
+    /// body, single-byte corruptions, random soup, and absurd counts must
+    /// never panic, and a count exceeding the remaining bytes must never
+    /// allocate its claimed size.
+    #[test]
+    fn decoder_is_total_over_malformed_corpus() {
+        for m in sample_msgs() {
+            let body = encode_body(&m, WireFormat::Binary).unwrap();
+            for cut_at in 0..body.len() {
+                let _ = decode_body(body.get(..cut_at).unwrap_or(&[]));
+            }
+            for i in 0..body.len() {
+                let mut mutated = body.clone();
+                if let Some(b) = mutated.get_mut(i) {
+                    *b = b.wrapping_add(1);
+                }
+                let _ = decode_body(&mutated); // any verdict, no panic
+            }
+            // Trailing garbage after a valid message rejects the frame.
+            let mut padded = body.clone();
+            padded.push(0);
+            assert_eq!(decode_body(&padded), None, "{m:?}");
+        }
+        // A huge claimed count with a short body must be rejected cheaply.
+        let mut evil = vec![BINARY_V1, TAG_SYNC_AGG];
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_body(&evil), None);
+        let mut rng = SimRng::new(0xC0DEC);
+        for _ in 0..4_000 {
+            let len = rng.range(0, 96) as usize;
+            let mut soup: Vec<u8> = (0..len).map(|_| rng.range(0, 256) as u8).collect();
+            let _ = decode_body(&soup);
+            // The same soup as a claimed-binary body.
+            soup.insert(0, BINARY_V1);
+            let _ = decode_body(&soup);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_bad_option_byte_rejected() {
+        assert_eq!(decode_body(&[BINARY_V1, 99]), None);
+        // Sync with has_view byte = 2.
+        let mut body = vec![BINARY_V1, TAG_SYNC];
+        body.extend_from_slice(&5u64.to_le_bytes());
+        body.push(2);
+        assert_eq!(decode_body(&body), None);
+        // Unknown leading byte that is not JSON either.
+        assert_eq!(decode_body(&[0xFE, 0x00]), None);
+        assert_eq!(decode_body(&[]), None);
+    }
+}

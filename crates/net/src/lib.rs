@@ -20,18 +20,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod fault;
 pub mod latency;
 pub mod sim;
 pub mod stats;
 pub mod tcp;
 pub mod udp;
+pub(crate) mod writer;
 
+pub use codec::WireFormat;
 pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultStats};
 pub use latency::LatencyModel;
 pub use sim::SimNet;
 pub use stats::NetStats;
-pub use tcp::{TcpTransport, Transport};
+pub use tcp::{TcpConfig, TcpTransport, Transport};
 pub use udp::UdpTransport;
 
 /// A message kind the simulated network can carry and account for.

@@ -23,6 +23,16 @@ pub struct NetStats {
     pub retries: u64,
     /// Heartbeat frames sent to probe peer liveness (live transports).
     pub heartbeats: u64,
+    /// Buffered socket flushes issued by per-connection writer threads
+    /// ([`crate::TcpTransport`]'s coalesced write path).
+    pub flushes: u64,
+    /// Frames carried by those flushes; `frames_flushed / flushes` is the
+    /// mean coalescing factor.
+    pub frames_flushed: u64,
+    /// Largest number of frames coalesced into one flush.
+    pub coalesce_max: u64,
+    /// High-water mark of any per-connection write-queue depth.
+    pub queue_depth_max: u64,
 }
 
 impl NetStats {
@@ -46,6 +56,12 @@ impl NetStats {
             // reconnects nor heartbeats.
             retries: 0,
             heartbeats: 0,
+            // Writer-path counters, exported by
+            // `TcpTransport::export_obs` on live transports.
+            flushes: reg.counter(vsgm_obs::names::NET_FLUSHES),
+            frames_flushed: reg.counter(vsgm_obs::names::NET_FRAMES_FLUSHED),
+            coalesce_max: reg.gauge(vsgm_obs::names::NET_COALESCE_MAX).unwrap_or(0),
+            queue_depth_max: reg.gauge(vsgm_obs::names::NET_QUEUE_DEPTH_MAX).unwrap_or(0),
         }
     }
 

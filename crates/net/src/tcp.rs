@@ -3,10 +3,31 @@
 //!
 //! TCP already provides connection-oriented, gap-free, FIFO byte streams
 //! per direction, which is exactly the channel model of Fig. 3 for peers
-//! in the `reliable_set`. Frames are length-prefixed JSON-serialized
-//! [`NetMsg`]s; each direction of a pair uses its own connection,
-//! established lazily on first send and identified by an 8-byte process-id
-//! handshake.
+//! in the `reliable_set`. Frames are length-prefixed [`NetMsg`] bodies in
+//! the [`crate::codec`] wire format — compact binary by default, with
+//! transparent JSON interop for rolling transitions. Each direction of a
+//! pair uses its own connection, established lazily on first send and
+//! identified by an 8-byte process-id handshake.
+//!
+//! The send path is built on per-connection writers ([`crate::writer`]):
+//!
+//! * **Serialized writes** — every producer (multicast fan-out from any
+//!   thread, the heartbeat prober) enqueues complete frames on the
+//!   connection's bounded queue; a single writer thread per connection
+//!   performs all socket writes, so concurrent senders and heartbeats can
+//!   never tear a frame mid-stream.
+//! * **Coalesced flushes** — the writer drains every frame already
+//!   queued into one buffered `write_all`, so a burst of N multicasts
+//!   costs one syscall instead of N
+//!   ([`TcpConfig::max_coalesce_frames`] / [`TcpConfig::max_flush_bytes`]).
+//! * **Independent fan-out** — [`Transport::send`] attempts *every*
+//!   destination, drops only the connections that actually failed, and
+//!   returns one aggregated error; a single broken peer no longer censors
+//!   the rest of the `ProcSet`, matching the paper's model of independent
+//!   per-pair channels.
+//! * **Single connection per peer** — first sends racing from multiple
+//!   threads serialize on a per-peer connect guard, so exactly one
+//!   socket (and one handshake) per destination survives.
 //!
 //! Robustness machinery (configurable via [`TcpConfig`]):
 //!
@@ -15,14 +36,16 @@
 //!   `backoff_cap`, each padded with deterministic jitter (seeded
 //!   [`SimRng`]) so restarting peers are not stampeded in lock-step.
 //!   Retries are surfaced in [`NetStats::retries`].
-//! * **Heartbeats as a failure signal** — a zero-length frame is written
+//! * **Heartbeats as a failure signal** — a zero-length frame is enqueued
 //!   on every outgoing connection each `heartbeat_interval`; receivers
 //!   treat it as pure liveness. A peer that was heard from but has been
 //!   silent for longer than `suspect_after` shows up in
 //!   [`TcpTransport::suspected_peers`] — the transport-level failure
 //!   detector a membership service's suspicion input can be fed from.
 
+use crate::codec::{self, WireFormat};
 use crate::stats::NetStats;
+use crate::writer::{PeerWriter, PushError, WriterStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -51,8 +74,9 @@ pub trait Transport: Send {
     ///
     /// # Errors
     ///
-    /// Returns the first I/O error encountered; peers before the failing
-    /// one will already have been sent to.
+    /// Every destination is attempted; if any fail, an aggregated error
+    /// naming the failed peers is returned (with the [`io::ErrorKind`] of
+    /// the first failure). Peers that did not fail have been sent to.
     fn send(&self, to: &ProcSet, msg: &NetMsg) -> io::Result<()>;
 
     /// Receives the next incoming message, waiting up to `timeout`.
@@ -84,7 +108,7 @@ pub struct TcpTransport {
     jitter: Mutex<SimRng>,
 }
 
-/// Robustness knobs for [`TcpTransport`].
+/// Wire-format and robustness knobs for [`TcpTransport`].
 #[derive(Debug, Clone)]
 pub struct TcpConfig {
     /// Failed connects are retried this many times before giving up.
@@ -95,12 +119,25 @@ pub struct TcpConfig {
     pub backoff_cap: Duration,
     /// Seed for the deterministic backoff jitter (up to half the delay).
     pub jitter_seed: u64,
-    /// Zero-length heartbeat frames are written on every outgoing
+    /// Zero-length heartbeat frames are enqueued on every outgoing
     /// connection at this interval; `Duration::ZERO` disables them.
     pub heartbeat_interval: Duration,
     /// A peer heard from before but silent for longer than this is
     /// reported by [`TcpTransport::suspected_peers`].
     pub suspect_after: Duration,
+    /// Encoding for outgoing frames; receivers always accept both.
+    pub wire_format: WireFormat,
+    /// Per-connection bounded queue capacity, in frames.
+    pub writer_queue: usize,
+    /// Most frames a writer coalesces into one flush (1 = flush every
+    /// frame individually, i.e. per-send writes).
+    pub max_coalesce_frames: u64,
+    /// Byte ceiling for one coalesced flush buffer (a single oversized
+    /// frame still flushes alone).
+    pub max_flush_bytes: usize,
+    /// How long a sender waits for space on a full per-connection queue
+    /// before declaring the peer stalled and dropping the connection.
+    pub enqueue_timeout: Duration,
 }
 
 impl Default for TcpConfig {
@@ -112,20 +149,30 @@ impl Default for TcpConfig {
             jitter_seed: 0x7C9,
             heartbeat_interval: Duration::from_millis(200),
             suspect_after: Duration::from_secs(1),
+            wire_format: WireFormat::Binary,
+            writer_queue: 1024,
+            max_coalesce_frames: 256,
+            max_flush_bytes: 1 << 20,
+            enqueue_timeout: Duration::from_secs(2),
         }
     }
 }
 
-/// State shared with the reader/accept/heartbeat threads.
+/// State shared with the reader/accept/heartbeat/writer threads.
 struct TcpShared {
     me: ProcessId,
     addr_book: Mutex<HashMap<ProcessId, SocketAddr>>,
-    outgoing: Mutex<HashMap<ProcessId, TcpStream>>,
+    outgoing: Mutex<HashMap<ProcessId, PeerWriter>>,
+    /// Per-peer guards serializing connection establishment: the loser of
+    /// a racing first send waits here and reuses the winner's socket.
+    connect_locks: Mutex<HashMap<ProcessId, Arc<Mutex<()>>>>,
     /// Last time any frame (handshake, data, heartbeat) arrived per peer.
     last_heard: Mutex<HashMap<ProcessId, Instant>>,
+    writer_stats: Arc<WriterStats>,
     retries: AtomicU64,
     heartbeats_sent: AtomicU64,
     heartbeats_heard: AtomicU64,
+    accepted: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -154,10 +201,13 @@ impl TcpTransport {
             me,
             addr_book: Mutex::new(HashMap::new()),
             outgoing: Mutex::new(HashMap::new()),
+            connect_locks: Mutex::new(HashMap::new()),
             last_heard: Mutex::new(HashMap::new()),
+            writer_stats: Arc::new(WriterStats::default()),
             retries: AtomicU64::new(0),
             heartbeats_sent: AtomicU64::new(0),
             heartbeats_heard: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
         spawn_accept_loop(listener, tx, Arc::clone(&shared));
@@ -192,14 +242,32 @@ impl TcpTransport {
             .collect()
     }
 
-    /// Transport-level accounting: reconnect [`NetStats::retries`] and
-    /// heartbeat frames sent ([`NetStats::heartbeats`]). Per-tag traffic
-    /// rows stay empty — message accounting happens in the layers above.
+    /// Transport-level accounting: reconnect [`NetStats::retries`],
+    /// heartbeat frames sent ([`NetStats::heartbeats`]), and the writer
+    /// path's flush/coalesce/queue-depth counters. Per-tag traffic rows
+    /// stay empty — message accounting happens in the layers above.
     pub fn stats(&self) -> NetStats {
+        let ws = &self.shared.writer_stats;
         let mut s = NetStats::new();
         s.retries = self.shared.retries.load(Ordering::Relaxed);
         s.heartbeats = self.shared.heartbeats_sent.load(Ordering::Relaxed);
+        s.flushes = ws.flushes.load(Ordering::Relaxed);
+        s.frames_flushed = ws.frames_flushed.load(Ordering::Relaxed);
+        s.coalesce_max = ws.coalesce_max.load(Ordering::Relaxed);
+        s.queue_depth_max = ws.queue_depth_max.load(Ordering::Relaxed);
         s
+    }
+
+    /// Mirrors the transport counters into an observability recorder
+    /// (one-shot export: counters are *added*, so call once per recorder,
+    /// e.g. when capturing a snapshot).
+    pub fn export_obs(&self, rec: &mut dyn vsgm_obs::Recorder) {
+        use vsgm_obs::names;
+        let s = self.stats();
+        rec.counter(names::NET_FLUSHES, s.flushes);
+        rec.counter(names::NET_FRAMES_FLUSHED, s.frames_flushed);
+        rec.gauge(names::NET_COALESCE_MAX, s.coalesce_max);
+        rec.gauge(names::NET_QUEUE_DEPTH_MAX, s.queue_depth_max);
     }
 
     /// Heartbeat frames received from peers (liveness evidence).
@@ -207,9 +275,38 @@ impl TcpTransport {
         self.shared.heartbeats_heard.load(Ordering::Relaxed)
     }
 
-    fn connection_to(&self, peer: ProcessId) -> io::Result<TcpStream> {
-        if let Some(s) = self.shared.outgoing.lock().get(&peer) {
-            return s.try_clone();
+    /// Inbound connections accepted by the listener. With race-free
+    /// connection establishment this is exactly one per peer that ever
+    /// sent to us, regardless of how many threads raced their first send.
+    pub fn accepted_connections(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Returns a live writer handle for `peer`, connecting (with capped
+    /// backoff) if none exists. A per-peer guard serializes racing
+    /// connection attempts: the loser re-checks the map after the winner
+    /// finishes and reuses its socket, so exactly one connection per peer
+    /// survives.
+    fn writer_handle(&self, peer: ProcessId) -> io::Result<PeerWriter> {
+        if let Some(w) = self.shared.outgoing.lock().get(&peer) {
+            if !w.is_broken() {
+                return Ok(w.clone());
+            }
+        }
+        let connect_lock =
+            Arc::clone(self.shared.connect_locks.lock().entry(peer).or_default());
+        let _guard = connect_lock.lock();
+        // Re-check under the guard: a racing thread may have connected
+        // while we waited.
+        {
+            let mut out = self.shared.outgoing.lock();
+            match out.get(&peer) {
+                Some(w) if !w.is_broken() => return Ok(w.clone()),
+                Some(_) => {
+                    out.remove(&peer);
+                }
+                None => {}
+            }
         }
         let addr = self.shared.addr_book.lock().get(&peer).copied().ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, format!("no address registered for {peer}"))
@@ -220,7 +317,7 @@ impl TcpTransport {
         let mut attempt = 0u32;
         loop {
             match self.try_connect(peer, addr) {
-                Ok(s) => return Ok(s),
+                Ok(w) => return Ok(w),
                 Err(e) if attempt >= self.config.max_reconnect_attempts => return Err(e),
                 Err(_) => {
                     attempt += 1;
@@ -234,14 +331,58 @@ impl TcpTransport {
         }
     }
 
-    fn try_connect(&self, peer: ProcessId, addr: SocketAddr) -> io::Result<TcpStream> {
+    fn try_connect(&self, peer: ProcessId, addr: SocketAddr) -> io::Result<PeerWriter> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        // Handshake: announce who we are.
+        // Handshake: announce who we are. The writer thread has not
+        // started yet, so this write cannot interleave with frames.
         stream.write_all(&self.shared.me.raw().to_le_bytes())?;
-        let clone = stream.try_clone()?;
-        self.shared.outgoing.lock().insert(peer, stream);
-        Ok(clone)
+        let writer = PeerWriter::spawn(
+            stream,
+            self.config.writer_queue,
+            self.config.max_coalesce_frames,
+            self.config.max_flush_bytes,
+            Arc::clone(&self.shared.writer_stats),
+        );
+        self.shared.outgoing.lock().insert(peer, writer.clone());
+        Ok(writer)
+    }
+
+    /// Enqueues an encoded frame to one peer, translating queue outcomes
+    /// into I/O errors and evicting the connection it observed broken.
+    fn enqueue(&self, peer: ProcessId, frame: &[u8]) -> io::Result<()> {
+        let writer = self.writer_handle(peer)?;
+        let outcome = writer.push(frame.to_vec(), self.config.enqueue_timeout);
+        match outcome {
+            Ok(depth) => {
+                self.shared
+                    .writer_stats
+                    .queue_depth_max
+                    .fetch_max(depth as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(kind) => {
+                if kind == PushError::Timeout {
+                    writer.mark_broken();
+                }
+                // Evict exactly the writer we saw fail — never a fresh
+                // reconnection another thread raced in underneath us.
+                let mut out = self.shared.outgoing.lock();
+                if out.get(&peer).is_some_and(|w| w.same_as(&writer)) {
+                    out.remove(&peer);
+                }
+                Err(match kind {
+                    PushError::Closed => io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        format!("connection to {peer} is down"),
+                    ),
+                    PushError::Timeout => io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("write queue to {peer} stalled"),
+                    ),
+                })
+            }
+        }
     }
 }
 
@@ -251,20 +392,19 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, to: &ProcSet, msg: &NetMsg) -> io::Result<()> {
-        let frame = encode_frame(msg)?;
+        let frame = codec::encode_frame(msg, self.config.wire_format)?;
+        let mut attempted = 0usize;
+        let mut failed: Vec<(ProcessId, io::Error)> = Vec::new();
         for q in to {
             if *q == self.shared.me {
                 continue;
             }
-            let result = self.connection_to(*q).and_then(|mut s| s.write_all(&frame));
-            if let Err(e) = result {
-                // Drop the broken connection so the next send reconnects
-                // (with backoff).
-                self.shared.outgoing.lock().remove(q);
-                return Err(e);
+            attempted += 1;
+            if let Err(e) = self.enqueue(*q, &frame) {
+                failed.push((*q, e));
             }
         }
-        Ok(())
+        aggregate_send_errors(attempted, failed)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<(ProcessId, NetMsg)> {
@@ -276,9 +416,39 @@ impl Transport for TcpTransport {
     }
 }
 
+/// Folds per-peer failures into one error: the kind of the first failure,
+/// a message naming every failed peer, and the reach count. A fully
+/// successful fan-out is `Ok`.
+fn aggregate_send_errors(
+    attempted: usize,
+    mut failed: Vec<(ProcessId, io::Error)>,
+) -> io::Result<()> {
+    let Some((_, first)) = failed.first() else { return Ok(()) };
+    if failed.len() == 1 && attempted == 1 {
+        // Single-destination sends keep their original error untouched.
+        let Some((_, e)) = failed.pop() else { return Ok(()) };
+        return Err(e);
+    }
+    let kind = first.kind();
+    let detail: Vec<String> = failed.iter().map(|(p, e)| format!("{p}: {e}")).collect();
+    Err(io::Error::new(
+        kind,
+        format!(
+            "multicast reached {}/{attempted} peers; failed [{}]",
+            attempted - failed.len(),
+            detail.join("; ")
+        ),
+    ))
+}
+
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Close every writer queue: queued frames still flush, then the
+        // writer threads exit.
+        for (_, w) in self.shared.outgoing.lock().drain() {
+            w.close();
+        }
     }
 }
 
@@ -289,14 +459,6 @@ impl std::fmt::Debug for TcpTransport {
             .field("local_addr", &self.local_addr)
             .finish()
     }
-}
-
-fn encode_frame(msg: &NetMsg) -> io::Result<Vec<u8>> {
-    let body = serde_json::to_vec(msg)?;
-    let mut frame = Vec::with_capacity(4 + body.len());
-    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&body);
-    Ok(frame)
 }
 
 fn spawn_accept_loop(
@@ -310,6 +472,7 @@ fn spawn_accept_loop(
             while !shared.shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        shared.accepted.fetch_add(1, Ordering::Relaxed);
                         let tx = tx.clone();
                         let shared = Arc::clone(&shared);
                         std::thread::Builder::new()
@@ -332,31 +495,39 @@ fn spawn_accept_loop(
         .expect("spawn accept thread");
 }
 
-/// Periodically writes a zero-length frame on every outgoing connection.
-/// A write failure tears the connection down, so the next send reconnects
-/// with backoff — dead peers are detected even when the application has
+/// Periodically enqueues a zero-length frame on every outgoing
+/// connection. Heartbeats ride the same per-connection writer as data —
+/// they can never interleave inside a data frame. A connection whose
+/// writer has died is torn down here, so the next send reconnects with
+/// backoff — dead peers are detected even when the application has
 /// nothing to say.
 fn spawn_heartbeat_loop(shared: Arc<TcpShared>, interval: Duration) {
     std::thread::Builder::new()
         .name("vsgm-tcp-heartbeat".into())
         .spawn(move || {
+            let heartbeat = 0u32.to_le_bytes().to_vec();
             while !shared.shutdown.load(Ordering::SeqCst) {
                 std::thread::sleep(interval);
-                let conns: Vec<(ProcessId, io::Result<TcpStream>)> = shared
+                let conns: Vec<(ProcessId, PeerWriter)> = shared
                     .outgoing
                     .lock()
                     .iter()
-                    .map(|(p, s)| (*p, s.try_clone()))
+                    .map(|(p, w)| (*p, w.clone()))
                     .collect();
-                for (peer, conn) in conns {
-                    let ok = match conn {
-                        Ok(mut s) => s.write_all(&0u32.to_le_bytes()).is_ok(),
-                        Err(_) => false,
-                    };
-                    if ok {
-                        shared.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        shared.outgoing.lock().remove(&peer);
+                for (peer, writer) in conns {
+                    // Don't wait on a full queue: data traffic is already
+                    // flowing, which is liveness evidence enough.
+                    match writer.push(heartbeat.clone(), Duration::ZERO) {
+                        Ok(_) => {
+                            shared.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(PushError::Timeout) => {}
+                        Err(PushError::Closed) => {
+                            let mut out = shared.outgoing.lock();
+                            if out.get(&peer).is_some_and(|w| w.same_as(&writer)) {
+                                out.remove(&peer);
+                            }
+                        }
                     }
                 }
             }
@@ -398,7 +569,8 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<(ProcessId, NetMsg)>, shared: A
         if stream.read_exact(&mut body).is_err() {
             return;
         }
-        let Ok(msg) = serde_json::from_slice::<NetMsg>(&body) else { return };
+        // Accepts both binary and JSON bodies (rolling-transition interop).
+        let Some(msg) = codec::decode_body(&body) else { return };
         shared.last_heard.lock().insert(peer, Instant::now());
         if tx.send((peer, msg)).is_err() {
             return;
@@ -416,8 +588,12 @@ mod tests {
     }
 
     fn pair() -> (TcpTransport, TcpTransport) {
-        let a = TcpTransport::bind(p(1), "127.0.0.1:0").unwrap();
-        let b = TcpTransport::bind(p(2), "127.0.0.1:0").unwrap();
+        pair_with(TcpConfig::default())
+    }
+
+    fn pair_with(config: TcpConfig) -> (TcpTransport, TcpTransport) {
+        let a = TcpTransport::bind_with(p(1), "127.0.0.1:0", config.clone()).unwrap();
+        let b = TcpTransport::bind_with(p(2), "127.0.0.1:0", config).unwrap();
         a.register_peer(p(2), b.local_addr());
         b.register_peer(p(1), a.local_addr());
         (a, b)
@@ -434,6 +610,24 @@ mod tests {
         let (from, msg) = b.recv_timeout(Duration::from_secs(5)).expect("message arrives");
         assert_eq!(from, p(1));
         assert_eq!(msg, NetMsg::App(AppMsg::from("hello")));
+    }
+
+    #[test]
+    fn send_and_receive_json_wire_format() {
+        // A JSON-configured sender interops with a binary-default peer.
+        let a = TcpTransport::bind_with(
+            p(1),
+            "127.0.0.1:0",
+            TcpConfig { wire_format: WireFormat::Json, ..TcpConfig::default() },
+        )
+        .unwrap();
+        let b = TcpTransport::bind(p(2), "127.0.0.1:0").unwrap();
+        a.register_peer(p(2), b.local_addr());
+        b.register_peer(p(1), a.local_addr());
+        a.send(&only(2), &NetMsg::App(AppMsg::from("json"))).unwrap();
+        let (from, msg) = b.recv_timeout(Duration::from_secs(5)).expect("message arrives");
+        assert_eq!(from, p(1));
+        assert_eq!(msg, NetMsg::App(AppMsg::from("json")));
     }
 
     #[test]
@@ -484,6 +678,28 @@ mod tests {
     }
 
     #[test]
+    fn burst_coalesces_into_fewer_flushes() {
+        let (a, b) = pair();
+        const BURST: usize = 200;
+        for i in 0..BURST {
+            a.send(&only(2), &NetMsg::App(AppMsg::from(format!("c{i}").as_str()))).unwrap();
+        }
+        for _ in 0..BURST {
+            b.recv_timeout(Duration::from_secs(5)).expect("burst message arrives");
+        }
+        let s = a.stats();
+        assert!(s.frames_flushed >= BURST as u64, "{s:?}");
+        assert!(
+            s.flushes < s.frames_flushed,
+            "burst never coalesced: {} flushes for {} frames",
+            s.flushes,
+            s.frames_flushed
+        );
+        assert!(s.coalesce_max >= 2, "{s:?}");
+        assert!(s.queue_depth_max >= 1, "{s:?}");
+    }
+
+    #[test]
     fn reconnect_backoff_counts_retries_then_recovers() {
         // Point a at a listener that has gone away: the send fails after
         // the configured retries, each counted in the stats.
@@ -512,6 +728,38 @@ mod tests {
         assert_eq!(from, p(1));
         assert_eq!(msg, NetMsg::App(AppMsg::from("again")));
         assert!(a.stats().retries >= 3);
+    }
+
+    #[test]
+    fn multicast_attempts_all_peers_despite_one_dead() {
+        // p2's address is dead (listener bound then dropped); p3 is live.
+        // The multicast must still reach p3 and return an aggregated
+        // error naming p2. (Pre-writer-rebuild, the fan-out aborted on
+        // the first broken peer and p3 was silently skipped.)
+        let gone = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = gone.local_addr().unwrap();
+        drop(gone);
+        let a = TcpTransport::bind_with(
+            p(1),
+            "127.0.0.1:0",
+            TcpConfig {
+                max_reconnect_attempts: 1,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(2),
+                ..TcpConfig::default()
+            },
+        )
+        .unwrap();
+        let c = TcpTransport::bind(p(3), "127.0.0.1:0").unwrap();
+        a.register_peer(p(2), dead_addr);
+        a.register_peer(p(3), c.local_addr());
+        let to: ProcSet = [p(2), p(3)].into_iter().collect();
+        let err = a.send(&to, &NetMsg::App(AppMsg::from("fan-out"))).unwrap_err();
+        assert!(err.to_string().contains("p2"), "aggregated error names the dead peer: {err}");
+        assert!(err.to_string().contains("1/2"), "aggregated error counts reach: {err}");
+        let (from, msg) = c.recv_timeout(Duration::from_secs(5)).expect("live peer still served");
+        assert_eq!(from, p(1));
+        assert_eq!(msg, NetMsg::App(AppMsg::from("fan-out")));
     }
 
     #[test]
@@ -562,5 +810,20 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "message never arrived");
             std::thread::sleep(Duration::from_millis(1));
         }
+    }
+
+    #[test]
+    fn aggregate_error_preserves_single_destination_kind() {
+        let nf = io::Error::new(io::ErrorKind::NotFound, "no address");
+        let err = aggregate_send_errors(1, vec![(p(9), nf)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert_eq!(err.to_string(), "no address");
+        let bp = io::Error::new(io::ErrorKind::BrokenPipe, "down");
+        let to = io::Error::new(io::ErrorKind::TimedOut, "stall");
+        let err = aggregate_send_errors(3, vec![(p(2), bp), (p(4), to)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        let text = err.to_string();
+        assert!(text.contains("1/3") && text.contains("p2") && text.contains("p4"), "{text}");
+        assert!(aggregate_send_errors(5, vec![]).is_ok());
     }
 }

@@ -14,6 +14,7 @@
 //! [`UdpTransport::set_loss`] injects random outbound datagram loss so
 //! tests exercise the recovery machinery deterministically.
 
+use crate::codec::{self, WireFormat};
 use crate::tcp::Transport;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -53,6 +54,7 @@ struct Shared {
     send_state: Mutex<HashMap<ProcessId, PeerSend>>,
     recv_state: Mutex<HashMap<ProcessId, PeerRecv>>,
     loss: Mutex<Option<(f64, SimRng)>>,
+    wire_format: Mutex<WireFormat>,
     shutdown: AtomicBool,
 }
 
@@ -113,6 +115,7 @@ impl UdpTransport {
             send_state: Mutex::new(HashMap::new()),
             recv_state: Mutex::new(HashMap::new()),
             loss: Mutex::new(None),
+            wire_format: Mutex::new(WireFormat::default()),
             shutdown: AtomicBool::new(false),
         });
         let (tx, rx) = unbounded();
@@ -138,6 +141,12 @@ impl UdpTransport {
             if p > 0.0 { Some((p, SimRng::new(seed))) } else { None };
     }
 
+    /// Selects the encoding for outgoing message bodies. Receivers always
+    /// accept both formats, so peers can switch independently.
+    pub fn set_wire_format(&self, format: WireFormat) {
+        *self.shared.wire_format.lock() = format;
+    }
+
     /// Number of frames awaiting acknowledgment (for tests).
     pub fn unacked(&self) -> usize {
         self.shared.send_state.lock().values().map(|s| s.unacked.len()).sum()
@@ -150,7 +159,7 @@ impl Transport for UdpTransport {
     }
 
     fn send(&self, to: &ProcSet, msg: &NetMsg) -> io::Result<()> {
-        let body = serde_json::to_vec(msg)?;
+        let body = codec::encode_body(msg, *self.shared.wire_format.lock())?;
         if body.len() > MAX_PAYLOAD {
             return Err(io::Error::new(
                 ErrorKind::InvalidInput,
@@ -262,7 +271,9 @@ fn spawn_recv_loop(shared: Arc<Shared>, tx: Sender<(ProcessId, NetMsg)>) {
                         }
                     }
                     Frame::Data { from, seq, body } => {
-                        let Ok(msg) = serde_json::from_slice::<NetMsg>(body) else { continue };
+                        // Accepts binary and JSON bodies alike (codec sniffs
+                        // the leading byte); garbage is skipped, never fatal.
+                        let Some(msg) = codec::decode_body(body) else { continue };
                         let ack_to = shared.addr_of(from).ok();
                         let mut state = shared.recv_state.lock();
                         let peer = state.entry(from).or_default();
@@ -465,6 +476,29 @@ mod tests {
         // A bare ack is fine.
         let ack = encode_frame(FRAME_ACK, p(2), 5, b"");
         assert_eq!(parse_frame(&ack), Some(Frame::Ack { from: p(2), seq: 5 }));
+        // Binary-codec garbage: well-formed datagram headers whose bodies
+        // claim to be BINARY_V1 but are truncations, corruptions, or soup.
+        // The layer that decodes them must stay total too.
+        let valid_body =
+            codec::encode_body(&NetMsg::App(AppMsg::from("bin")), WireFormat::Binary).unwrap();
+        for cut in 0..valid_body.len() {
+            let truncated = valid_body.get(..cut).unwrap();
+            let frame = encode_frame(FRAME_DATA, p(3), 1, truncated);
+            if let Some(Frame::Data { body, .. }) = parse_frame(&frame) {
+                assert_eq!(codec::decode_body(body), None, "truncated binary body at {cut}");
+            }
+        }
+        for _ in 0..2_000 {
+            let len = rng.range(1, 64) as usize;
+            let mut soup: Vec<u8> = (0..len).map(|_| rng.range(0, 256) as u8).collect();
+            if let Some(first) = soup.first_mut() {
+                *first = codec::BINARY_V1; // force the binary-decode path
+            }
+            let frame = encode_frame(FRAME_DATA, p(3), 1, &soup);
+            if let Some(Frame::Data { body, .. }) = parse_frame(&frame) {
+                let _ = codec::decode_body(body); // must not panic
+            }
+        }
     }
 
     #[test]

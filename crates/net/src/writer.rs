@@ -1,0 +1,324 @@
+//! Per-connection write path: each outgoing TCP connection owns its
+//! write half behind a bounded frame queue drained by a single writer
+//! thread.
+//!
+//! This is what makes the transport honor the `CO_RFIFO` channel
+//! envelope under concurrency:
+//!
+//! * every producer (multicast fan-out, heartbeat prober, concurrent
+//!   `send` callers) only *enqueues* complete frames — one thread per
+//!   connection performs all socket writes, so frames can never tear;
+//! * the queue is bounded, so one stalled peer exerts backpressure on
+//!   its own channel without blocking writes to other peers forever —
+//!   a producer that cannot enqueue within its timeout declares the
+//!   connection broken instead of wedging the multicast;
+//! * the writer coalesces every frame already queued into one buffered
+//!   `write_all`, turning N queued frames into one syscall.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Flush/coalesce accounting shared by every writer thread of one
+/// transport; surfaced through `NetStats` and `vsgm-obs`.
+#[derive(Debug, Default)]
+pub(crate) struct WriterStats {
+    /// Buffered `write_all` flushes issued.
+    pub flushes: AtomicU64,
+    /// Frames carried by those flushes (≥ flushes; the ratio is the mean
+    /// coalescing factor).
+    pub frames_flushed: AtomicU64,
+    /// Largest number of frames coalesced into a single flush.
+    pub coalesce_max: AtomicU64,
+    /// High-water mark of any per-connection queue depth at enqueue time.
+    pub queue_depth_max: AtomicU64,
+}
+
+/// Why an enqueue did not happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The writer died (socket error) or the transport shut down.
+    Closed,
+    /// The queue stayed full for the whole timeout — the peer is stalled.
+    Timeout,
+}
+
+struct QueueInner {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+/// Bounded MPSC queue of encoded frames feeding one writer thread.
+struct FrameQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+/// The std mutexes here are internal to the queue and never poisoned
+/// while holding broken invariants (pushes and pops are single
+/// statements); recover the guard rather than propagate.
+fn lock(m: &Mutex<QueueInner>) -> MutexGuard<'_, QueueInner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl FrameQueue {
+    fn new(cap: usize) -> FrameQueue {
+        FrameQueue {
+            inner: Mutex::new(QueueInner { frames: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues one frame, waiting up to `timeout` for space. Returns the
+    /// queue depth after the push.
+    fn push(&self, frame: Vec<u8>, timeout: Duration) -> Result<usize, PushError> {
+        let deadline = Instant::now() + timeout;
+        let mut g = lock(&self.inner);
+        loop {
+            if g.closed {
+                return Err(PushError::Closed);
+            }
+            if g.frames.len() < self.cap {
+                g.frames.push_back(frame);
+                let depth = g.frames.len();
+                self.not_empty.notify_one();
+                return Ok(depth);
+            }
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return Err(PushError::Timeout);
+            };
+            let (guard, _timed_out) = self
+                .not_full
+                .wait_timeout(g, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = guard;
+        }
+    }
+
+    /// Blocks for the next frame, then drains every frame already queued
+    /// (up to `max_frames` / `max_bytes`) into `buf`. Returns the number
+    /// of frames taken, or `None` once the queue is closed and empty.
+    fn pop_batch(&self, buf: &mut Vec<u8>, max_frames: u64, max_bytes: usize) -> Option<u64> {
+        let mut g = lock(&self.inner);
+        loop {
+            if !g.frames.is_empty() {
+                let mut taken = 0u64;
+                while taken < max_frames.max(1) && (taken == 0 || buf.len() < max_bytes) {
+                    match g.frames.pop_front() {
+                        Some(f) => {
+                            buf.extend_from_slice(&f);
+                            taken += 1;
+                        }
+                        None => break,
+                    }
+                }
+                self.not_full.notify_all();
+                return Some(taken);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending frames still drain, new pushes fail.
+    fn close(&self) {
+        lock(&self.inner).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Handle to one connection's writer: clone-cheap (two `Arc`s), shared
+/// between the transport map, senders, and the heartbeat prober.
+#[derive(Clone)]
+pub(crate) struct PeerWriter {
+    queue: Arc<FrameQueue>,
+    broken: Arc<AtomicBool>,
+}
+
+impl PeerWriter {
+    /// Takes ownership of the connection's write half and starts the
+    /// writer thread.
+    pub(crate) fn spawn(
+        stream: TcpStream,
+        queue_cap: usize,
+        max_coalesce_frames: u64,
+        max_flush_bytes: usize,
+        stats: Arc<WriterStats>,
+    ) -> PeerWriter {
+        let queue = Arc::new(FrameQueue::new(queue_cap));
+        let broken = Arc::new(AtomicBool::new(false));
+        let writer = PeerWriter { queue: Arc::clone(&queue), broken: Arc::clone(&broken) };
+        std::thread::Builder::new()
+            .name("vsgm-tcp-writer".into())
+            .spawn(move || {
+                writer_loop(stream, &queue, &broken, &stats, max_coalesce_frames, max_flush_bytes);
+            })
+            // vsgm-allow(P1): thread-spawn failure is OS resource exhaustion
+            // at connection setup — not a protocol state, nothing to unwind to
+            .expect("spawn writer thread");
+        writer
+    }
+
+    /// Enqueues an already-encoded frame; returns the post-push depth.
+    pub(crate) fn push(&self, frame: Vec<u8>, timeout: Duration) -> Result<usize, PushError> {
+        if self.broken.load(Ordering::Acquire) {
+            return Err(PushError::Closed);
+        }
+        self.queue.push(frame, timeout)
+    }
+
+    /// Whether the writer declared the connection dead.
+    pub(crate) fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::Acquire)
+    }
+
+    /// Marks the connection dead and wakes the writer so it exits.
+    pub(crate) fn mark_broken(&self) {
+        self.broken.store(true, Ordering::Release);
+        self.queue.close();
+    }
+
+    /// Same writer (not merely same peer): used so a thread only evicts
+    /// the map entry it actually observed broken, never a fresh
+    /// reconnection racing in underneath it.
+    pub(crate) fn same_as(&self, other: &PeerWriter) -> bool {
+        Arc::ptr_eq(&self.broken, &other.broken)
+    }
+
+    /// Closes the queue; queued frames still flush, then the thread exits.
+    pub(crate) fn close(&self) {
+        self.queue.close();
+    }
+}
+
+impl std::fmt::Debug for PeerWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerWriter").field("broken", &self.is_broken()).finish()
+    }
+}
+
+fn writer_loop(
+    mut stream: TcpStream,
+    queue: &FrameQueue,
+    broken: &AtomicBool,
+    stats: &WriterStats,
+    max_coalesce_frames: u64,
+    max_flush_bytes: usize,
+) {
+    let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    loop {
+        buf.clear();
+        let Some(frames) = queue.pop_batch(&mut buf, max_coalesce_frames, max_flush_bytes)
+        else {
+            break;
+        };
+        if frames == 0 {
+            continue;
+        }
+        stats.flushes.fetch_add(1, Ordering::Relaxed);
+        stats.frames_flushed.fetch_add(frames, Ordering::Relaxed);
+        stats.coalesce_max.fetch_max(frames, Ordering::Relaxed);
+        if stream.write_all(&buf).is_err() {
+            broken.store(true, Ordering::Release);
+            queue.close();
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn frames_flush_in_fifo_order() {
+        let (client, mut server) = loopback_pair();
+        let stats = Arc::new(WriterStats::default());
+        let w = PeerWriter::spawn(client, 64, 32, 1 << 20, Arc::clone(&stats));
+        for b in [b"aa".to_vec(), b"bb".to_vec(), b"cc".to_vec()] {
+            w.push(b, Duration::from_secs(1)).unwrap();
+        }
+        let mut got = [0u8; 6];
+        server.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"aabbcc");
+        assert!(stats.flushes.load(Ordering::Relaxed) >= 1);
+        assert_eq!(stats.frames_flushed.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn close_drains_queued_frames() {
+        let (client, mut server) = loopback_pair();
+        let w = PeerWriter::spawn(client, 64, 32, 1 << 20, Arc::default());
+        w.push(b"tail".to_vec(), Duration::from_secs(1)).unwrap();
+        w.close();
+        let mut got = [0u8; 4];
+        server.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"tail");
+        // After close, pushes fail with Closed.
+        assert_eq!(
+            w.push(b"late".to_vec(), Duration::from_millis(10)),
+            Err(PushError::Closed)
+        );
+    }
+
+    #[test]
+    fn full_queue_times_out_without_wedging() {
+        let (client, server) = loopback_pair();
+        // Tiny queue, and nobody reads `server`: once the socket buffer
+        // fills, the writer blocks and the queue stays full.
+        let w = PeerWriter::spawn(client, 2, 32, 1 << 20, Arc::default());
+        let big = vec![0u8; 1 << 20];
+        let mut saw_timeout = false;
+        for _ in 0..64 {
+            match w.push(big.clone(), Duration::from_millis(20)) {
+                Ok(_) => {}
+                Err(PushError::Timeout) => {
+                    saw_timeout = true;
+                    break;
+                }
+                Err(PushError::Closed) => panic!("writer died unexpectedly"),
+            }
+        }
+        assert!(saw_timeout, "queue never exerted backpressure");
+        drop(server);
+    }
+
+    #[test]
+    fn broken_socket_marks_writer_broken() {
+        let (client, server) = loopback_pair();
+        let w = PeerWriter::spawn(client, 64, 32, 1 << 20, Arc::default());
+        drop(server);
+        // Writes eventually fail; the writer flags itself broken and
+        // subsequent pushes are rejected.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let r = w.push(vec![0u8; 4096], Duration::from_millis(50));
+            if r == Err(PushError::Closed) && w.is_broken() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "writer never noticed the dead socket");
+        }
+    }
+}

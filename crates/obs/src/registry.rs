@@ -224,6 +224,14 @@ pub mod names {
     pub const NET_DELIVERED: &str = "net.delivered";
     /// Histogram of per-message network transit time, in microseconds.
     pub const NET_DELIVERY_LATENCY_US: &str = "net.delivery_latency_us";
+    /// Buffered socket flushes issued by per-connection writer threads.
+    pub const NET_FLUSHES: &str = "net.flushes";
+    /// Frames carried by those flushes (coalescing numerator).
+    pub const NET_FRAMES_FLUSHED: &str = "net.frames_flushed";
+    /// Largest number of frames coalesced into a single flush (gauge).
+    pub const NET_COALESCE_MAX: &str = "net.coalesce_max";
+    /// High-water mark of per-connection write-queue depth (gauge).
+    pub const NET_QUEUE_DEPTH_MAX: &str = "net.queue_depth_max";
     /// Histogram of start_change → view-install span latency, µs.
     pub const SYNC_ROUND_LATENCY_US: &str = "span.sync_round_latency_us";
     /// Membership rounds entered by servers.

@@ -85,6 +85,12 @@ fn main() -> std::io::Result<()> {
                     );
                 }
                 if greetings >= 3 {
+                    let s = node.transport().stats();
+                    tx.send(format!(
+                        "{me}: net writer stats — {} flushes / {} frames (max {} coalesced)",
+                        s.flushes, s.frames_flushed, s.coalesce_max
+                    ))
+                    .ok();
                     return Ok(());
                 }
                 events.extend(node.pump(Duration::from_millis(10))?);

@@ -25,6 +25,16 @@ cargo clippy --workspace "${CARGO_FLAGS[@]}" -- -D warnings
 echo "==> vsgm-analyze --format json"
 cargo run -q -p vsgm-analyze "${CARGO_FLAGS[@]}" -- --format json
 
+# Net-bench smoke: a short loopback run of the codec/flush comparison
+# (JSON vs binary × per-send vs coalesced). Emits BENCH_net.json at the
+# repo root; an empty or missing file fails the gate.
+echo "==> net-bench smoke (BENCH_net.json)"
+VSGM_NET_BENCH_MSGS="${VSGM_NET_BENCH_MSGS:-2000}" \
+VSGM_BENCH_BUDGET_MS="${VSGM_BENCH_BUDGET_MS:-50}" \
+VSGM_BENCH_JSON="$PWD/BENCH_net.json" \
+    cargo bench -q -p vsgm-bench --bench net_throughput "${CARGO_FLAGS[@]}" >/dev/null
+test -s BENCH_net.json
+
 # Chaos smoke: randomized fault-injection search over a fixed seed batch.
 # Every generated scenario must pass the full checker suite (exit 0); the
 # run is deterministic, so a failure here is a reproducible protocol bug —
