@@ -14,12 +14,15 @@ use std::collections::{BTreeMap, BTreeSet};
 /// `chaos` is held to the same bar: seed-replayable search would silently
 /// rot if a HashMap or ambient clock crept into the generator/minimizer.
 pub const D1_CRATES: [&str; 5] = ["core", "membership", "types", "spec", "chaos"];
-/// Individual files outside [`D1_CRATES`] held to the determinism bar.
-/// The wire codec lives in `net` (a real-transport crate that is
-/// otherwise free to use ambient time), but its encoding must be
-/// byte-deterministic — golden vectors and cross-peer interop depend on
-/// it — so it is pinned here by path.
-pub const D1_FILES: [&str; 1] = ["crates/net/src/codec.rs"];
+/// Individual files outside [`D1_CRATES`] held to the determinism bar,
+/// plus files inside them pinned explicitly so a crate-list edit cannot
+/// silently drop them. The wire codec lives in `net` (a real-transport
+/// crate that is otherwise free to use ambient time), but its encoding
+/// must be byte-deterministic — golden vectors and cross-peer interop
+/// depend on it. The batching stage decides *what goes in a frame*
+/// from inputs only (`Input::Tick`); an ambient clock there would make
+/// frame boundaries — and hence the differential suite — unreplayable.
+pub const D1_FILES: [&str; 2] = ["crates/net/src/codec.rs", "crates/core/src/batch.rs"];
 /// Crates whose non-test code must be panic-free (P1).
 pub const P1_CRATES: [&str; 4] = ["core", "membership", "net", "spec"];
 /// Crates holding precondition/effect transition functions (I1).

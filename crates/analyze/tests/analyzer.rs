@@ -95,6 +95,39 @@ fn d1_covers_the_wire_codec_by_path() {
     );
 }
 
+#[test]
+fn d1_covers_the_batching_stage_by_path() {
+    // `batch.rs` sits inside the D1 crate `core` *and* is pinned by file
+    // path: frame boundaries must be a function of inputs (Input::Tick),
+    // or the batching differential suite stops being replayable. The
+    // explicit entry keeps the file covered even if the crate list is
+    // ever reorganized.
+    assert!(
+        vsgm_analyze::rules::D1_FILES.contains(&"crates/core/src/batch.rs"),
+        "batch.rs must be pinned in D1_FILES: {:?}",
+        vsgm_analyze::rules::D1_FILES
+    );
+    let root = fixture(
+        "d1-batch-file",
+        &[(
+            "crates/core/src/batch.rs",
+            "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+        )],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    let d1_files: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "D1")
+        .map(|f| f.file.as_str())
+        .collect();
+    assert!(
+        d1_files.contains(&"crates/core/src/batch.rs"),
+        "batch.rs must be D1-covered: {:?}",
+        report.findings
+    );
+}
+
 // ---------------------------------------------------------------- P1 ---
 
 #[test]

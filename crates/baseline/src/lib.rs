@@ -362,6 +362,11 @@ impl GroupEndpoint for BaselineEndpoint {
             Input::Net { from, msg } => match msg {
                 NetMsg::ViewMsg(v) => wv::on_view_msg(&mut self.st, from, v),
                 NetMsg::App(m) => wv::on_app_msg(&mut self.st, from, m),
+                NetMsg::AppBatch(batch) => {
+                    for m in batch {
+                        wv::on_app_msg(&mut self.st, from, m);
+                    }
+                }
                 NetMsg::Fwd(f) => wv::on_fwd_msg(&mut self.st, f),
                 NetMsg::Baseline(BaselineMsg::Propose { participants, seq }) => {
                     let r = self.rounds.entry(participants).or_default();
@@ -377,6 +382,8 @@ impl GroupEndpoint for BaselineEndpoint {
             },
             Input::Crash => self.st.crashed = true,
             Input::Recover => {}
+            // The baseline has no batching stage; its clock is unused.
+            Input::Tick(_) => {}
         }
         Vec::new()
     }

@@ -37,4 +37,4 @@ pub mod run;
 
 pub use gen::{generate, ChaosConfig};
 pub use minimize::{minimize, Minimized};
-pub use run::{run_scenario, validate, Artifact, Failure, RunOptions, RunOutcome};
+pub use run::{batch_for_seed, run_scenario, validate, Artifact, Failure, RunOptions, RunOutcome};

@@ -22,7 +22,7 @@
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use vsgm_core::Config;
+use vsgm_core::{BatchConfig, Config};
 use vsgm_harness::{Scenario, Sim, SimOptions, Step};
 use vsgm_ioa::Violation;
 use vsgm_net::{FaultPlan, LatencyModel};
@@ -244,10 +244,24 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "opaque panic payload".to_string())
 }
 
+/// Endpoint batching configuration derived from a scenario seed: a third
+/// of chaos runs exercise each of unbatched, small-batch, and large-batch
+/// endpoints, so the full oracle (all spec checkers plus Property 4.2
+/// liveness) continuously judges the batching path under faults. Pure in
+/// the seed, so replay keeps the same configuration.
+pub fn batch_for_seed(seed: u64) -> BatchConfig {
+    match seed % 3 {
+        1 => BatchConfig::small(),
+        2 => BatchConfig::large(),
+        _ => BatchConfig::off(),
+    }
+}
+
 /// Runs `scenario` under the full oracle and judges the outcome.
 ///
 /// Deterministic: the schedule, faults, and verdict are pure functions of
-/// the scenario (which embeds its seed) and `opts`.
+/// the scenario (which embeds its seed) and `opts`. The endpoint batching
+/// mode is itself seed-derived ([`batch_for_seed`]).
 pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> RunOutcome {
     if let Err(e) = validate(scenario) {
         return RunOutcome {
@@ -261,7 +275,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> RunOutcome {
     }
     let mut sim = Sim::new_paper(
         scenario.n,
-        Config::default(),
+        Config { batch: batch_for_seed(scenario.seed), ..Config::default() },
         SimOptions {
             seed: scenario.seed,
             latency: LatencyModel::lan(),

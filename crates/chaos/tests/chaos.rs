@@ -4,7 +4,8 @@
 //! regression scenarios.
 
 use vsgm_chaos::{
-    generate, minimize, run_scenario, Artifact, ChaosConfig, Failure, RunOptions, validate,
+    batch_for_seed, generate, minimize, run_scenario, Artifact, ChaosConfig, Failure, RunOptions,
+    validate,
 };
 use vsgm_harness::{Scenario, Step};
 
@@ -162,6 +163,35 @@ fn regression_crash_during_sync_round() {
             Step::Send { p: 2, msg: "back".into() },
         ],
     };
+    let out = run_clean(&s);
+    assert!(out.recovery_resets >= 1, "no RecoveryReset in the journal");
+}
+
+#[test]
+fn regression_crash_during_sync_with_non_empty_batch() {
+    // Pinned batching regression: endpoints run with a large batch (long
+    // linger), so the sends below are still *held* in per-endpoint
+    // batches when the view change starts — the change must force-flush
+    // them before the cut, and a member crashing mid-sync on top of that
+    // must not lose or duplicate any batched message. The seed is chosen
+    // so `batch_for_seed` picks the large configuration.
+    let s = Scenario {
+        n: 4,
+        seed: 0xC4A0_54,
+        steps: vec![
+            Step::Reconfigure { members: vec![1, 2, 3, 4] },
+            Step::Send { p: 1, msg: "held-a".into() },
+            Step::Send { p: 1, msg: "held-b".into() },
+            Step::Send { p: 3, msg: "held-c".into() },
+            Step::StartChange { members: vec![1, 2, 3, 4] },
+            Step::CrashDuringSync { p: 2 },
+            Step::FormView { members: vec![1, 2, 3, 4] },
+            Step::Run,
+            Step::Recover { p: 2 },
+            Step::Send { p: 2, msg: "back".into() },
+        ],
+    };
+    assert!(batch_for_seed(s.seed).enabled(), "seed must select a batched endpoint");
     let out = run_clean(&s);
     assert!(out.recovery_resets >= 1, "no RecoveryReset in the journal");
 }

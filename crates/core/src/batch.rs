@@ -1,0 +1,201 @@
+//! Endpoint-level application-message batching + backpressure knobs.
+//!
+//! The hot path of the paper's steady state is `send_p(m)` →
+//! `co_rfifo.send_p(set, tag=app_msg, m)`: one wire frame per application
+//! message. This module adds a batching stage *in front of* that wire
+//! send: pending own messages (the suffix `last_sent+1 ..= last_index` of
+//! `msgs[p][current_view]`) are held back until a flush trigger fires —
+//! the count limit, the byte budget, or the linger deadline — and are
+//! then emitted as a single [`vsgm_types::NetMsg::AppBatch`] frame.
+//!
+//! Correctness is free by construction:
+//!
+//! * The batch *is* the unsent suffix of the own per-view FIFO buffer —
+//!   no second queue exists, so nothing can be reordered or duplicated.
+//! * Receivers unbatch before any protocol processing
+//!   (`wv::on_app_msg` per element), so every checker sees the identical
+//!   per-message event stream.
+//! * A view change force-releases the hold (see
+//!   [`crate::endpoint::Endpoint`]): pending messages are flushed before
+//!   the synchronization cut completes, so Fig. 10 cut computation is
+//!   unaffected and view installation (which requires
+//!   `dlvrd(p) = agreed_bound(p)` *including* the own stream) cannot
+//!   deadlock on held messages.
+//!
+//! Only the linger deadline reads the clock, and the clock is an input
+//! ([`crate::Input::Tick`]) — the automaton stays deterministic.
+
+/// Batching knobs. The default (`max_msgs = 1`) disables batching: every
+/// send flushes immediately, which is the paper's original per-message
+/// behavior and the baseline arm of the `gcs_throughput` bench.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Most messages packed into one wire frame. `1` disables batching.
+    pub max_msgs: u64,
+    /// Payload-byte budget per batch; once adding the next message would
+    /// exceed it the batch flushes (a single oversized message still
+    /// flushes alone).
+    pub max_bytes: usize,
+    /// Longest a pending batch waits for more messages before flushing
+    /// anyway, in microseconds of the endpoint clock.
+    pub linger_us: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::off()
+    }
+}
+
+impl BatchConfig {
+    /// Batching disabled (per-message sends).
+    pub fn off() -> Self {
+        BatchConfig { max_msgs: 1, max_bytes: 64 * 1024, linger_us: 0 }
+    }
+
+    /// A conservative low-latency preset: small batches, short linger.
+    pub fn small() -> Self {
+        BatchConfig { max_msgs: 8, max_bytes: 16 * 1024, linger_us: 200 }
+    }
+
+    /// A throughput preset: large batches, 1 ms linger.
+    pub fn large() -> Self {
+        BatchConfig { max_msgs: 64, max_bytes: 64 * 1024, linger_us: 1_000 }
+    }
+
+    /// Whether batching is on at all.
+    pub fn enabled(&self) -> bool {
+        self.max_msgs > 1
+    }
+}
+
+/// Why a pending batch was flushed (observability vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// The message-count limit was reached.
+    Count,
+    /// The byte budget was reached.
+    Bytes,
+    /// The linger deadline expired.
+    Linger,
+    /// A view change is in progress: the flush precedes the
+    /// synchronization cut.
+    ViewChange,
+}
+
+impl FlushCause {
+    /// The registry counter bumped for this cause.
+    pub const fn counter_name(self) -> &'static str {
+        match self {
+            FlushCause::Count => vsgm_obs::names::EP_BATCH_FLUSH_COUNT,
+            FlushCause::Bytes => vsgm_obs::names::EP_BATCH_FLUSH_BYTES,
+            FlushCause::Linger => vsgm_obs::names::EP_BATCH_FLUSH_LINGER,
+            FlushCause::ViewChange => vsgm_obs::names::EP_BATCH_FLUSH_VIEW_CHANGE,
+        }
+    }
+}
+
+/// Whether the batching stage holds back an otherwise-enabled app-msg
+/// send: batching on, something pending, and no flush trigger fired yet.
+/// The caller has already excluded the view-change case (which always
+/// releases the hold).
+pub fn holds(
+    cfg: &BatchConfig,
+    pending_msgs: u64,
+    pending_bytes: usize,
+    opened_us: Option<u64>,
+    now_us: u64,
+) -> bool {
+    if !cfg.enabled() || pending_msgs == 0 {
+        return false;
+    }
+    if pending_msgs >= cfg.max_msgs || pending_bytes >= cfg.max_bytes {
+        return false;
+    }
+    match opened_us {
+        Some(t) => now_us < t.saturating_add(cfg.linger_us),
+        // No open timestamp with pending messages: fail open (flush).
+        None => false,
+    }
+}
+
+/// The flush cause a firing send should be attributed to, mirroring the
+/// trigger order of [`holds`].
+pub fn flush_cause(
+    cfg: &BatchConfig,
+    reconfiguring: bool,
+    pending_msgs: u64,
+    pending_bytes: usize,
+) -> FlushCause {
+    if reconfiguring {
+        FlushCause::ViewChange
+    } else if pending_msgs >= cfg.max_msgs {
+        FlushCause::Count
+    } else if pending_bytes >= cfg.max_bytes {
+        FlushCause::Bytes
+    } else {
+        FlushCause::Linger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_config_never_holds() {
+        let cfg = BatchConfig::off();
+        assert!(!cfg.enabled());
+        assert!(!holds(&cfg, 1, 10, Some(0), 0));
+    }
+
+    #[test]
+    fn holds_until_a_trigger_fires() {
+        let cfg = BatchConfig { max_msgs: 4, max_bytes: 100, linger_us: 50 };
+        // Pending but under every limit, linger not expired: hold.
+        assert!(holds(&cfg, 2, 30, Some(0), 49));
+        // Count limit reached.
+        assert!(!holds(&cfg, 4, 30, Some(0), 0));
+        // Byte budget reached.
+        assert!(!holds(&cfg, 2, 100, Some(0), 0));
+        // Linger expired.
+        assert!(!holds(&cfg, 2, 30, Some(0), 50));
+        // Nothing pending: nothing to hold.
+        assert!(!holds(&cfg, 0, 0, None, 99));
+        // Pending without an open timestamp fails open.
+        assert!(!holds(&cfg, 2, 30, None, 0));
+    }
+
+    #[test]
+    fn flush_cause_mirrors_trigger_order() {
+        let cfg = BatchConfig { max_msgs: 4, max_bytes: 100, linger_us: 50 };
+        assert_eq!(flush_cause(&cfg, true, 4, 200), FlushCause::ViewChange);
+        assert_eq!(flush_cause(&cfg, false, 4, 0), FlushCause::Count);
+        assert_eq!(flush_cause(&cfg, false, 2, 100), FlushCause::Bytes);
+        assert_eq!(flush_cause(&cfg, false, 2, 30), FlushCause::Linger);
+    }
+
+    #[test]
+    fn cause_counter_names_are_distinct() {
+        let names = [
+            FlushCause::Count.counter_name(),
+            FlushCause::Bytes.counter_name(),
+            FlushCause::Linger.counter_name(),
+            FlushCause::ViewChange.counter_name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn linger_saturates_at_u64_max() {
+        // Near-overflow deadlines saturate instead of wrapping around
+        // (which would release the hold immediately).
+        let cfg = BatchConfig { max_msgs: 4, max_bytes: 100, linger_us: u64::MAX };
+        assert!(holds(&cfg, 1, 1, Some(5), u64::MAX - 1));
+        // At the saturated deadline itself the hold releases.
+        assert!(!holds(&cfg, 1, 1, Some(5), u64::MAX));
+    }
+}

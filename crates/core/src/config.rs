@@ -1,5 +1,6 @@
 //! End-point configuration: layer selection and optimization knobs.
 
+use crate::batch::BatchConfig;
 use crate::forward::ForwardStrategyKind;
 
 /// Which prefix of the paper's inheritance chain the end-point runs.
@@ -60,6 +61,9 @@ pub struct Config {
     /// view installation. One previous generation is retained because
     /// forwarding obligations for the just-left view may still be pending.
     pub gc_old_views: bool,
+    /// Application-message batching stage (see [`crate::batch`]). The
+    /// default is off (per-message sends, the paper's original behavior).
+    pub batch: BatchConfig,
 }
 
 impl Default for Config {
@@ -71,6 +75,7 @@ impl Default for Config {
             implicit_cuts: false,
             aggregation: false,
             gc_old_views: true,
+            batch: BatchConfig::off(),
         }
     }
 }
@@ -94,6 +99,7 @@ mod tests {
         assert!(c.stack.has_vs());
         assert!(c.stack.has_sd());
         assert!(!c.slim_sync);
+        assert!(!c.batch.enabled());
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub enum Input {
     Crash,
     /// `recover_p()` (§8) — restart with initial state, same identity.
     Recover,
+    /// Clock advance to the given absolute microsecond timestamp (the
+    /// driver's clock: simulated time under the harness, wall clock in a
+    /// real node pump). Only the batching linger deadline
+    /// ([`Config::batch`]) observes it; with batching off it is inert.
+    Tick(u64),
 }
 
 /// An externally visible effect of the end-point.
@@ -123,6 +128,13 @@ pub trait GroupEndpoint {
     fn reconfiguring(&self) -> bool;
     /// Whether the end-point is crashed.
     fn is_crashed(&self) -> bool;
+    /// The absolute [`Input::Tick`] timestamp at which a held message
+    /// batch flushes on its own, if one is pending. Drivers advance their
+    /// clock here when the network is otherwise idle. The default (`None`)
+    /// suits end-points without a batching stage.
+    fn next_deadline_us(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl GroupEndpoint for Endpoint {
@@ -149,6 +161,9 @@ impl GroupEndpoint for Endpoint {
     }
     fn is_crashed(&self) -> bool {
         Endpoint::is_crashed(self)
+    }
+    fn next_deadline_us(&self) -> Option<u64> {
+        Endpoint::next_deadline_us(self)
     }
 }
 
@@ -304,6 +319,10 @@ impl Endpoint {
                 Vec::new()
             }
             Input::Recover => Vec::new(), // not crashed: no-op
+            Input::Tick(us) => {
+                self.st.now_us = self.st.now_us.max(us);
+                Vec::new()
+            }
         }
     }
 
@@ -321,6 +340,15 @@ impl Endpoint {
             }
             NetMsg::App(m) => {
                 wv::on_app_msg(&mut self.st, from, m);
+                Vec::new()
+            }
+            NetMsg::AppBatch(batch) => {
+                // Unbatch before any protocol processing: the stored
+                // stream is identical to receiving each message in its own
+                // frame, so checkers and delivery order are unaffected.
+                for m in batch {
+                    wv::on_app_msg(&mut self.st, from, m);
+                }
                 Vec::new()
             }
             NetMsg::Fwd(f) => {
@@ -379,6 +407,61 @@ impl Endpoint {
             return vec![Effect::NetSend { to, msg: NetMsg::SyncAgg(vec![(from, payload)]) }];
         }
         Vec::new()
+    }
+
+    /// The pending batch — the unsent suffix of the own current-view
+    /// buffer — as `(message count, payload bytes)`.
+    fn pending_batch(&self) -> (u64, usize) {
+        let Some(buf) = self.st.buf(self.st.pid, &self.st.current_view) else {
+            return (0, 0);
+        };
+        let mut count = 0u64;
+        let mut bytes = 0usize;
+        let mut i = self.st.last_sent + 1;
+        while let Some(m) = buf.get(i) {
+            count += 1;
+            bytes += m.len();
+            i += 1;
+        }
+        (count, bytes)
+    }
+
+    /// Whether the batching stage holds back an otherwise-enabled
+    /// `SendAppMsg`. Any pending view change releases the hold
+    /// unconditionally: the forced flush precedes the synchronization
+    /// cut, so view installation (which waits for the own stream to reach
+    /// its agreed bound) can never deadlock on held messages.
+    fn batch_holds(&self) -> bool {
+        if !self.cfg.batch.enabled() {
+            return false;
+        }
+        if self.st.start_change.is_some() || wv::view_pre(&self.st) {
+            return false;
+        }
+        let (count, bytes) = self.pending_batch();
+        crate::batch::holds(
+            &self.cfg.batch,
+            count,
+            bytes,
+            self.st.batch_opened_us,
+            self.st.now_us,
+        )
+    }
+
+    /// The absolute clock value (same timebase as [`Input::Tick`]) at
+    /// which the pending batch's linger deadline expires — `None` when
+    /// nothing is held. Drivers use this to know how far to advance time
+    /// when the network is otherwise idle.
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        if !self.cfg.batch.enabled() {
+            return None;
+        }
+        let opened = self.st.batch_opened_us?;
+        let (count, _) = self.pending_batch();
+        if count == 0 {
+            return None;
+        }
+        Some(opened.saturating_add(self.cfg.batch.linger_us))
     }
 
     fn reliable_target(&self) -> ProcSet {
@@ -484,7 +567,7 @@ impl Automaton for Endpoint {
         if self.flush_agg_enabled() {
             out.push(Action::FlushAgg);
         }
-        if wv::send_app_msg_pre(&self.st).is_some() {
+        if wv::send_app_msg_pre(&self.st).is_some() && !self.batch_holds() {
             out.push(Action::SendAppMsg);
         }
         for q in self.st.current_view.members() {
@@ -585,12 +668,37 @@ impl Endpoint {
                 }
             }
             Action::SendAppMsg => {
-                let Some((set, msg)) = wv::send_app_msg_eff(&mut self.st) else {
+                // Attribute the flush before the effect consumes the
+                // pending suffix.
+                let reconfiguring =
+                    self.st.start_change.is_some() || wv::view_pre(&self.st);
+                let (pcount, pbytes) = self.pending_batch();
+                let Some((set, msg, k)) = wv::send_app_batch_eff(
+                    &mut self.st,
+                    self.cfg.batch.max_msgs,
+                    self.cfg.batch.max_bytes,
+                ) else {
                     return Vec::new(); // enabled_actions() no longer offers this
                 };
-                self.stats.msgs_sent += 1;
-                rec.counter(names::EP_MSGS_SENT, 1);
-                rec.event(self.st.pid, None, ObsEvent::MsgSent);
+                self.stats.msgs_sent += k;
+                rec.counter(names::EP_MSGS_SENT, k);
+                // One MsgSent per covered message: the journal stream is
+                // identical whether or not messages share a wire frame.
+                for _ in 0..k {
+                    rec.event(self.st.pid, None, ObsEvent::MsgSent);
+                }
+                if self.cfg.batch.enabled() {
+                    let cause = crate::batch::flush_cause(
+                        &self.cfg.batch,
+                        reconfiguring,
+                        pcount,
+                        pbytes,
+                    );
+                    rec.counter(names::EP_BATCH_FLUSHES, 1);
+                    rec.counter(cause.counter_name(), 1);
+                    rec.observe(names::EP_BATCH_SIZE, k);
+                    rec.event(self.st.pid, self.current_cid(), ObsEvent::BatchFlushed);
+                }
                 if set.is_empty() {
                     Vec::new()
                 } else {
@@ -631,6 +739,14 @@ impl Endpoint {
                 }
                 if self.cfg.gc_old_views {
                     self.st.gc(&previous);
+                }
+                // Re-issue application sends that arrived after the own
+                // sync for the just-completed change: they were queued
+                // (not stamped with the old view) and now join the new
+                // view's stream in arrival order.
+                let queued = std::mem::take(&mut self.st.pending_sends);
+                for m in queued {
+                    wv::on_app_send(&mut self.st, m);
                 }
                 vec![Effect::InstallView {
                     view: self.st.current_view.clone(),
@@ -984,6 +1100,166 @@ mod tests {
         assert_eq!(net.views.len(), 2);
         for (_, _, t) in &net.views {
             assert_eq!(t, &set(&[1, 2]));
+        }
+    }
+
+    fn batched_cfg(max_msgs: u64, linger_us: u64) -> Config {
+        Config {
+            batch: crate::batch::BatchConfig { max_msgs, max_bytes: 64 * 1024, linger_us },
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn batch_holds_until_count_then_one_frame_carries_all() {
+        let mut net = Net::new(&[1, 2], batched_cfg(3, 1_000_000));
+        net.reconfigure(&[1, 2], 1, 1);
+        net.delivered.clear();
+        // Two sends: under the count limit, long linger — held.
+        net.input(1, Input::AppSend(AppMsg::from("a")));
+        net.input(1, Input::AppSend(AppMsg::from("b")));
+        net.settle();
+        assert!(
+            !net.delivered.iter().any(|(to, _, _)| *to == p(2)),
+            "held batch leaked to the wire: {:?}",
+            net.delivered
+        );
+        assert_eq!(net.eps[&p(1)].next_deadline_us(), Some(1_000_000));
+        // Third send reaches the count limit: everything flushes at once.
+        net.input(1, Input::AppSend(AppMsg::from("c")));
+        net.settle();
+        let at2: Vec<&AppMsg> = net
+            .delivered
+            .iter()
+            .filter(|(to, from, _)| *to == p(2) && *from == p(1))
+            .map(|(_, _, m)| m)
+            .collect();
+        assert_eq!(at2, vec![&AppMsg::from("a"), &AppMsg::from("b"), &AppMsg::from("c")]);
+        assert_eq!(net.eps[&p(1)].next_deadline_us(), None);
+    }
+
+    #[test]
+    fn linger_deadline_releases_held_batch_on_tick() {
+        let mut net = Net::new(&[1, 2], batched_cfg(8, 500));
+        net.reconfigure(&[1, 2], 1, 1);
+        net.delivered.clear();
+        net.input(1, Input::AppSend(AppMsg::from("m")));
+        net.settle();
+        assert!(net.delivered.is_empty(), "{:?}", net.delivered);
+        // Advance short of the deadline: still held.
+        net.input(1, Input::Tick(499));
+        net.settle();
+        assert!(net.delivered.is_empty(), "{:?}", net.delivered);
+        net.input(1, Input::Tick(500));
+        net.settle();
+        assert!(
+            net.delivered.iter().any(|(to, _, m)| *to == p(2) && m == &AppMsg::from("m")),
+            "{:?}",
+            net.delivered
+        );
+    }
+
+    #[test]
+    fn view_change_flushes_half_full_batch_before_cut() {
+        let mut net = Net::new(&[1, 2], batched_cfg(8, 1_000_000));
+        net.reconfigure(&[1, 2], 1, 1);
+        net.delivered.clear();
+        net.views.clear();
+        // Half-full batch held at p1, then a view change races it.
+        net.input(1, Input::AppSend(AppMsg::from("held")));
+        net.settle();
+        assert!(net.delivered.is_empty(), "{:?}", net.delivered);
+        net.reconfigure(&[1, 2], 2, 2);
+        // The view installed everywhere (no deadlock on the held batch)…
+        assert_eq!(net.views.len(), 2, "{:?}", net.views);
+        // …and the held message was delivered to everyone in the OLD view
+        // (it was flushed before the synchronization cut).
+        for target in [1u64, 2] {
+            assert!(
+                net.delivered
+                    .iter()
+                    .any(|(to, from, m)| *to == p(target)
+                        && *from == p(1)
+                        && m == &AppMsg::from("held")),
+                "missing delivery at p{target}: {:?}",
+                net.delivered
+            );
+        }
+    }
+
+    #[test]
+    fn batch_flush_is_journalled_with_cause_and_size() {
+        use vsgm_obs::{ObsRecorder, Recorder};
+        let mut ep = Endpoint::new(p(1), batched_cfg(2, 1_000_000));
+        let mut rec = ObsRecorder::new();
+        ep.handle_rec(Input::AppSend(AppMsg::from("a")), &mut rec);
+        ep.handle_rec(Input::AppSend(AppMsg::from("b")), &mut rec);
+        let _ = ep.poll_rec(&mut rec);
+        assert_eq!(rec.journal().count(ObsEvent::BatchFlushed), 1);
+        let reg = rec.registry();
+        assert_eq!(reg.counter(names::EP_BATCH_FLUSHES), 1);
+        assert_eq!(reg.counter(names::EP_BATCH_FLUSH_COUNT), 1);
+        assert_eq!(reg.counter(names::EP_BATCH_FLUSH_LINGER), 0);
+        let h = reg.histogram(names::EP_BATCH_SIZE).expect("batch size recorded");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 2);
+        // Per-message journal parity: two MsgSent events despite the
+        // single wire frame.
+        assert_eq!(rec.journal().count(ObsEvent::MsgSent), 2);
+    }
+
+    #[test]
+    fn send_racing_view_change_lands_in_new_view() {
+        // Regression for the view-stamping bug: a send arriving after the
+        // own sync message was already sent must NOT be stamped with the
+        // old view — it is queued and re-issued in the next view.
+        let mut net = Net::new(&[1, 2], Config::default());
+        net.reconfigure(&[1, 2], 1, 1);
+        net.delivered.clear();
+        let members = set(&[1, 2]);
+        for m in [1, 2] {
+            net.input(m, Input::StartChange { cid: StartChangeId::new(2), set: members.clone() });
+        }
+        net.settle();
+        // Both endpoints have sent their syncs (settle drains all locally
+        // controlled actions). A send now hits the closed window.
+        assert!(net.eps[&p(1)]
+            .state()
+            .sync(p(1), StartChangeId::new(2))
+            .is_some());
+        net.input(1, Input::AppSend(AppMsg::from("racer")));
+        net.settle();
+        assert!(net.delivered.is_empty(), "{:?}", net.delivered);
+        assert_eq!(
+            net.eps[&p(1)].state().pending_sends,
+            vec![AppMsg::from("racer")]
+        );
+        // The view arrives; the queued send goes out in the NEW view.
+        let view = View::new(
+            vsgm_types::ViewId::new(2, 0),
+            members.iter().copied(),
+            members.iter().map(|m| (*m, StartChangeId::new(2))),
+        );
+        for m in [1, 2] {
+            net.input(m, Input::MbrshpView(view.clone()));
+        }
+        net.settle();
+        let deliveries: Vec<&(ProcessId, ProcessId, AppMsg)> = net
+            .delivered
+            .iter()
+            .filter(|(_, _, m)| m == &AppMsg::from("racer"))
+            .collect();
+        assert_eq!(deliveries.len(), 2, "{:?}", net.delivered);
+        for ep in net.eps.values() {
+            assert_eq!(ep.current_view(), &view);
+            assert!(ep.state().pending_sends.is_empty());
+            // The message sits in the NEW view's own buffer, not the old.
+            if ep.pid() == p(1) {
+                assert_eq!(
+                    ep.state().buf(p(1), &view).map_or(0, |b| b.last_index()),
+                    1
+                );
+            }
         }
     }
 

@@ -335,8 +335,11 @@ mod tests {
             (p(1), StartChangeId::new(1)),
             SyncRecord { view: Some(st.current_view.clone()), cut: Cut::new(), stream_pos: 0 },
         );
-        // Application "sent" a message the cut missed.
-        wv::on_app_send(&mut st, AppMsg::from("late"));
+        // A message the cut missed lands in the buffer directly: the
+        // legitimate send path (`wv::on_app_send`) now queues sends that
+        // arrive after the own sync, so the corrupt state must be forged.
+        let v = st.current_view.clone();
+        st.buf_mut(p(1), &v).push(AppMsg::from("late"));
         assert!(own_cut_commits_all_sent(&st).unwrap_err().contains("6.13"));
     }
 

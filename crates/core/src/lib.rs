@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregation;
+pub mod batch;
 pub mod client;
 pub mod invariants;
 pub mod config;
@@ -57,6 +58,7 @@ pub mod state;
 pub mod vs;
 pub mod wv;
 
+pub use batch::{BatchConfig, FlushCause};
 pub use client::BlockingClient;
 pub use config::{Config, Stack};
 pub use endpoint::{Action, Effect, Endpoint, EndpointStats, GroupEndpoint, Input};

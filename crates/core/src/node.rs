@@ -40,6 +40,9 @@ pub struct Node<T: Transport> {
     ep: Endpoint,
     transport: T,
     auto_block_ok: bool,
+    /// Origin of the endpoint's [`Input::Tick`] timebase (wall clock,
+    /// measured from node creation).
+    epoch: Instant,
 }
 
 impl<T: Transport> Node<T> {
@@ -50,7 +53,9 @@ impl<T: Transport> Node<T> {
     /// Panics if the endpoint and transport disagree about the identity.
     pub fn new(ep: Endpoint, transport: T) -> Self {
         assert_eq!(ep.pid(), transport.me(), "endpoint/transport identity mismatch");
-        Node { ep, transport, auto_block_ok: true }
+        // vsgm-allow(D1): the tick epoch is driver-shell bookkeeping; the
+        // endpoint only ever sees the derived monotone microsecond input.
+        Node { ep, transport, auto_block_ok: true, epoch: Instant::now() }
     }
 
     /// Whether `block` requests are auto-acknowledged (default: true).
@@ -125,6 +130,13 @@ impl<T: Transport> Node<T> {
         let deadline = Instant::now() + wait;
         let mut out = Vec::new();
         loop {
+            // Feed the wall clock as an explicit Tick input (only the
+            // batching linger deadline reads it).
+            // vsgm-allow(D1): the clock enters the automaton as an Input,
+            // same as in the simulator — the transition relation itself
+            // stays deterministic in its inputs.
+            let now_us = self.epoch.elapsed().as_micros() as u64;
+            let _ = self.ep.handle(Input::Tick(now_us));
             // Ingest whatever is queued (blocking up to the deadline for
             // the first frame only).
             let mut got_any = false;
@@ -145,11 +157,25 @@ impl<T: Transport> Node<T> {
             if now >= deadline {
                 return Ok(out);
             }
-            match self.transport.recv_timeout(deadline - now) {
+            // Wake early if a held batch flushes before the caller's
+            // deadline, so the linger bound holds under an idle socket.
+            let mut wait_for = deadline - now;
+            let mut flush_wake = false;
+            if let Some(flush_at) = self.ep.next_deadline_us() {
+                let remaining = Duration::from_micros(flush_at.saturating_sub(now_us));
+                if remaining < wait_for {
+                    wait_for = remaining;
+                    flush_wake = true;
+                }
+            }
+            match self.transport.recv_timeout(wait_for) {
                 Some((from, msg)) => {
                     let effects = self.ep.handle(Input::Net { from, msg });
                     out.extend(self.dispatch(effects)?);
                 }
+                // A flush wake is not the caller's deadline: loop again
+                // (the fresh Tick releases the batch).
+                None if flush_wake => {}
                 None => return Ok(out),
             }
         }

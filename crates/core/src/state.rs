@@ -139,6 +139,22 @@ pub struct State {
     /// members that have not installed yet.
     pub agg_scope: Option<ProcSet>,
 
+    // ----- endpoint batching extension (see `crate::batch`) -----
+    /// The end-point's monotone local clock in microseconds, fed by
+    /// [`crate::Input::Tick`] (simulated time under the harness, wall
+    /// clock in a real node pump). Only the batching linger deadline reads
+    /// it — the protocol automata stay time-free.
+    pub now_us: u64,
+    /// When the oldest unsent own message entered the pending batch (for
+    /// the linger deadline); `None` while nothing is pending.
+    pub batch_opened_us: Option<u64>,
+    /// Application sends received after the own synchronization message
+    /// for an in-progress view change was already sent: the committed cut
+    /// excludes them, so they are queued here and re-issued in the *next*
+    /// view instead of being stamped with the old one (see
+    /// [`crate::wv::on_app_send`]).
+    pub pending_sends: Vec<AppMsg>,
+
     // ----- §8 crash/recovery -----
     /// While `true`, locally controlled actions and input effects are
     /// disabled.
@@ -168,6 +184,9 @@ impl State {
             agg_buffer: BTreeMap::new(),
             agg_flushed: false,
             agg_scope: None,
+            now_us: 0,
+            batch_opened_us: None,
+            pending_sends: Vec::new(),
             crashed: false,
         }
     }
@@ -251,9 +270,12 @@ impl State {
     }
 
     /// Resets everything to the initial state (§8 recovery — no stable
-    /// storage).
+    /// storage). The local clock survives: recovery does not move time
+    /// backwards.
     pub fn reset(&mut self) {
+        let now_us = self.now_us;
         *self = State::new(self.pid);
+        self.now_us = now_us;
     }
 }
 

@@ -12,9 +12,26 @@ use vsgm_types::{AppMsg, FwdPayload, MsgIndex, NetMsg, ProcSet, ProcessId, View}
 
 /// `send_p(m)`: the application multicasts `m` — append to
 /// `msgs[p][current_view]`.
+///
+/// Exception: once the own synchronization message for an in-progress
+/// view change has been sent, the committed cut no longer covers new own
+/// messages. Appending here would stamp the *old* view on a message the
+/// old view's agreement never saw, so such sends are queued in
+/// `pending_sends` and re-issued when the next view installs (the paper's
+/// blocking client, Fig. 12, makes this window unreachable; a
+/// non-blocking client hits it).
 pub fn on_app_send(st: &mut State, m: AppMsg) {
+    if let Some((cid, _)) = &st.start_change {
+        if st.sync(st.pid, *cid).is_some() {
+            st.pending_sends.push(m);
+            return;
+        }
+    }
     let view = st.current_view.clone();
     let pid = st.pid;
+    if st.batch_opened_us.is_none() {
+        st.batch_opened_us = Some(st.now_us);
+    }
     st.buf_mut(pid, &view).push(m);
 }
 
@@ -113,7 +130,64 @@ pub fn send_app_msg_eff(st: &mut State) -> Option<(ProcSet, NetMsg)> {
     let set: ProcSet =
         st.current_view.members().iter().copied().filter(|q| *q != st.pid).collect();
     st.last_sent += 1;
+    rearm_batch_clock(st);
     Some((set, NetMsg::App(m)))
+}
+
+/// Precondition of the batched send: identical to [`send_app_msg_pre`].
+/// Batching changes *how many* unsent messages one `co_rfifo.send_p`
+/// covers, never *whether* the action is enabled — the enabling condition
+/// is still "the view is announced and an unsent own message exists".
+pub fn send_app_batch_pre(st: &State) -> Option<AppMsg> {
+    send_app_msg_pre(st)
+}
+
+/// Batched variant of [`send_app_msg_eff`]: packs up to `max_msgs` /
+/// `max_bytes` worth of consecutive unsent own messages into one wire
+/// frame. The batch is exactly a prefix of the unsent suffix of
+/// `msgs[p][current_view]` — `last_sent` advances over it atomically, so
+/// per-message semantics are preserved byte-for-byte (receivers unbatch
+/// in order). The first message is always included even when it alone
+/// exceeds `max_bytes` (it flushes by itself). Returns the destination
+/// set, the wire message (`NetMsg::App` for a single message so the
+/// per-message wire format is unchanged when batching never engages), and
+/// the number of messages covered.
+pub fn send_app_batch_eff(
+    st: &mut State,
+    max_msgs: u64,
+    max_bytes: usize,
+) -> Option<(ProcSet, NetMsg, u64)> {
+    let first = send_app_batch_pre(st)?;
+    let mut batch = vec![first];
+    let mut bytes = batch.first().map_or(0, AppMsg::len);
+    if let Some(buf) = st.buf(st.pid, &st.current_view) {
+        while (batch.len() as u64) < max_msgs.max(1) {
+            let Some(next) = buf.get(st.last_sent + batch.len() as u64 + 1) else {
+                break;
+            };
+            if bytes + next.len() > max_bytes {
+                break;
+            }
+            bytes += next.len();
+            batch.push(next.clone());
+        }
+    }
+    let set: ProcSet =
+        st.current_view.members().iter().copied().filter(|q| *q != st.pid).collect();
+    let k = batch.len() as u64;
+    st.last_sent += k;
+    rearm_batch_clock(st);
+    let msg = if k == 1 { NetMsg::App(batch.pop()?) } else { NetMsg::AppBatch(batch) };
+    Some((set, msg, k))
+}
+
+/// After a send advanced `last_sent`: clear the linger clock if the
+/// pending batch drained, else restart it for the remaining suffix.
+fn rearm_batch_clock(st: &mut State) {
+    let remaining = st
+        .buf(st.pid, &st.current_view)
+        .is_some_and(|seq| seq.last_index() > st.last_sent);
+    st.batch_opened_us = remaining.then_some(st.now_us);
 }
 
 /// The number of messages from `q` buffered gap-free for the current view
@@ -192,6 +266,72 @@ mod tests {
         assert_eq!(set, [p(2)].into_iter().collect());
         assert!(matches!(msg, NetMsg::App(m) if m == AppMsg::from("a")));
         assert_eq!(st.last_sent, 1);
+    }
+
+    #[test]
+    fn batched_send_covers_unsent_suffix_in_order() {
+        let mut st = State::new(p(1));
+        st.mbrshp_view = view12(1);
+        view_eff(&mut st);
+        st.reliable_set = [p(1), p(2)].into_iter().collect();
+        send_view_msg_eff(&mut st);
+        for m in ["a", "b", "c"] {
+            on_app_send(&mut st, AppMsg::from(m));
+        }
+        let (set, msg, k) = send_app_batch_eff(&mut st, 2, 1024).expect("enabled");
+        assert_eq!(k, 2);
+        assert_eq!(set, [p(2)].into_iter().collect());
+        assert!(matches!(
+            msg,
+            NetMsg::AppBatch(b) if b == vec![AppMsg::from("a"), AppMsg::from("b")]
+        ));
+        assert_eq!(st.last_sent, 2);
+        // One message left: the batch clock stays armed for it.
+        assert!(st.batch_opened_us.is_some());
+        // The remainder goes out as a plain App frame (k == 1).
+        let (_, msg, k) = send_app_batch_eff(&mut st, 2, 1024).expect("enabled");
+        assert_eq!(k, 1);
+        assert!(matches!(msg, NetMsg::App(m) if m == AppMsg::from("c")));
+        assert_eq!(st.batch_opened_us, None);
+    }
+
+    #[test]
+    fn batch_byte_budget_stops_packing_but_oversized_head_flushes_alone() {
+        let mut st = State::new(p(1));
+        on_app_send(&mut st, AppMsg::from(vec![0u8; 10]));
+        on_app_send(&mut st, AppMsg::from(vec![1u8; 10]));
+        st.last_sent = 0;
+        // Budget of 15 bytes: the 10-byte head fits, the second would
+        // overflow.
+        let (_, msg, k) = send_app_batch_eff(&mut st, 8, 15).expect("enabled");
+        assert_eq!(k, 1);
+        assert!(matches!(msg, NetMsg::App(_)));
+        // Budget of 5 bytes: smaller than the head — it still goes alone.
+        let (_, _, k) = send_app_batch_eff(&mut st, 8, 5).expect("enabled");
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn send_after_own_sync_queues_for_next_view() {
+        use crate::state::SyncRecord;
+        use vsgm_types::Cut;
+        let mut st = State::new(p(1));
+        let cid = StartChangeId::new(9);
+        st.start_change = Some((cid, [p(1), p(2)].into_iter().collect()));
+        st.sync_msgs.insert(
+            (p(1), cid),
+            SyncRecord { view: Some(st.current_view.clone()), cut: Cut::default(), stream_pos: 0 },
+        );
+        on_app_send(&mut st, AppMsg::from("late"));
+        // Not in the old view's buffer — queued for the next view.
+        assert_eq!(available_from(&st, p(1)), 0);
+        assert_eq!(st.pending_sends, vec![AppMsg::from("late")]);
+        // Before the own sync is sent, sends still reach the buffer.
+        let mut st2 = State::new(p(1));
+        st2.start_change = Some((cid, [p(1), p(2)].into_iter().collect()));
+        on_app_send(&mut st2, AppMsg::from("in-time"));
+        assert_eq!(available_from(&st2, p(1)), 1);
+        assert!(st2.pending_sends.is_empty());
     }
 
     #[test]

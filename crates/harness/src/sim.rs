@@ -428,6 +428,31 @@ impl<E: GroupEndpoint> Sim<E> {
 
     // ----- execution -----
 
+    /// Advances every endpoint's local clock to the current simulated
+    /// time. Inert unless an endpoint has a time-dependent stage (the
+    /// batching linger deadline); clock advances are not trace events.
+    fn tick_all(&mut self) {
+        let us = self.time.as_micros();
+        let ids: Vec<ProcessId> = self.eps.keys().copied().collect();
+        for id in ids {
+            let rec = rec_of(&mut self.obs, &mut self.noop);
+            let effects =
+                self.eps.get_mut(&id).expect("known proc").handle_rec(Input::Tick(us), rec);
+            self.route(id, effects);
+        }
+    }
+
+    /// The earliest pending linger deadline across live endpoints, if any
+    /// batch is being held (`None` for endpoints without batching).
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.eps
+            .values()
+            .filter(|e| !e.is_crashed())
+            .filter_map(GroupEndpoint::next_deadline_us)
+            .min()
+            .map(SimTime::from_micros)
+    }
+
     /// Fires endpoint actions until every endpoint is quiescent (no time
     /// passes; network arrivals are not consumed).
     pub fn step_all(&mut self) {
@@ -461,6 +486,7 @@ impl<E: GroupEndpoint> Sim<E> {
         if let Some(r) = &mut self.obs {
             r.advance_time(t);
         }
+        self.tick_all();
         let batch = self.net.pop_ready_rec(t, rec_of(&mut self.obs, &mut self.noop));
         for (from, to, msg) in batch {
             self.record(Event::NetDeliver { p: from, q: to, msg: msg.clone() });
@@ -473,14 +499,25 @@ impl<E: GroupEndpoint> Sim<E> {
         true
     }
 
-    /// Runs until no endpoint action is enabled and no message is in
-    /// flight on a live channel.
+    /// Runs until no endpoint action is enabled, no message is in flight
+    /// on a live channel, and no batch is held on a linger deadline (the
+    /// clock jumps to pending deadlines once the network drains, so held
+    /// batches flush instead of wedging quiescence).
     pub fn run_to_quiescence(&mut self) {
         self.step_all();
         for _ in 0..10_000_000u64 {
-            if !self.deliver_next() {
-                return;
+            if self.deliver_next() {
+                continue;
             }
+            // Network idle: release any batch waiting on its linger
+            // deadline by advancing time there.
+            let Some(deadline) = self.next_deadline() else { return };
+            self.time = self.time.max(deadline);
+            if let Some(r) = &mut self.obs {
+                r.advance_time(self.time);
+            }
+            self.tick_all();
+            self.step_all();
         }
         panic!("simulation did not quiesce");
     }
@@ -493,9 +530,20 @@ impl<E: GroupEndpoint> Sim<E> {
         self.step_all();
         let deadline = self.time + d;
         for _ in 0..10_000_000u64 {
-            match self.net.next_arrival() {
-                Some(t) if t <= deadline => {
+            // A batch linger deadline due within the window is a time
+            // event like an arrival: whichever comes first fires first.
+            let flush_at = self.next_deadline().filter(|t| *t <= deadline);
+            match (self.net.next_arrival(), flush_at) {
+                (Some(t), flush) if t <= deadline && flush.is_none_or(|f| t <= f) => {
                     self.deliver_next();
+                }
+                (_, Some(f)) => {
+                    self.time = self.time.max(f);
+                    if let Some(r) = &mut self.obs {
+                        r.advance_time(self.time);
+                    }
+                    self.tick_all();
+                    self.step_all();
                 }
                 _ => break,
             }
@@ -505,6 +553,8 @@ impl<E: GroupEndpoint> Sim<E> {
             if let Some(r) = &mut self.obs {
                 r.advance_time(deadline);
             }
+            self.tick_all();
+            self.step_all();
         }
     }
 
@@ -687,6 +737,44 @@ mod tests {
             canonical.trace().to_json_lines(),
             "shuffling should explore a different interleaving"
         );
+    }
+
+    #[test]
+    fn batched_run_quiesces_past_linger_and_stays_clean() {
+        // One held batch per process: nothing is due on the network when
+        // the sends land, so quiescence must jump the clock to the linger
+        // deadline to release them.
+        let cfg = Config { batch: vsgm_core::BatchConfig::small(), ..Config::default() };
+        let mut sim = Sim::new_paper(3, cfg, SimOptions::default());
+        let v = sim.reconfigure(&procs(3));
+        sim.add_checker(LivenessSpec::new(v));
+        for i in 1..=3 {
+            sim.send(ProcessId::new(i), AppMsg::from("batched"));
+        }
+        sim.run_to_quiescence();
+        sim.assert_clean();
+        let counts = sim.trace().kind_counts();
+        assert_eq!(counts["deliver"], 9, "{counts:?}");
+    }
+
+    #[test]
+    fn batched_view_change_is_clean_with_held_batch() {
+        // A huge linger would hold the batch forever; the view change
+        // must force the flush before the cut (and the checkers agree).
+        let cfg = Config {
+            batch: vsgm_core::BatchConfig { max_msgs: 64, max_bytes: 1 << 20, linger_us: u64::MAX },
+            ..Config::default()
+        };
+        let mut sim = Sim::new_paper(3, cfg, SimOptions::default());
+        sim.reconfigure(&procs(3));
+        sim.send(ProcessId::new(1), AppMsg::from("held"));
+        sim.send(ProcessId::new(1), AppMsg::from("back"));
+        let v = sim.reconfigure(&procs(3));
+        sim.add_checker(LivenessSpec::new(v));
+        sim.run_to_quiescence();
+        sim.assert_clean();
+        let counts = sim.trace().kind_counts();
+        assert_eq!(counts["deliver"], 6, "{counts:?}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! body      := 0x01 msg
 //! msg       := tag:u8 payload
 //! tag       := 0 ViewMsg | 1 App | 2 Fwd | 3 Sync | 4 SyncAgg
-//!            | 5 Baseline::Propose | 6 Baseline::Sync
+//!            | 5 Baseline::Propose | 6 Baseline::Sync | 7 AppBatch
 //! view      := epoch:u64 proposer:u64 n:u32 (pid:u64 cid:u64)^n
 //! cut       := n:u32 (pid:u64 index:u64)^n
 //! bytes     := n:u32 byte^n
@@ -30,6 +30,7 @@
 //!   SyncAgg := n:u32 (pid:u64 sync)^n
 //!   Propose := n:u32 pid:u64^n seq:u64
 //!   BlSync  := n:u32 pid:u64^n tag_seq:u64 tag_pid:u64 view cut
+//!   AppBatch:= n:u32 bytes^n
 //! ```
 //!
 //! [`decode_body`] is total: no input can panic, allocate unboundedly, or
@@ -55,6 +56,7 @@ const TAG_SYNC: u8 = 3;
 const TAG_SYNC_AGG: u8 = 4;
 const TAG_BL_PROPOSE: u8 = 5;
 const TAG_BL_SYNC: u8 = 6;
+const TAG_APP_BATCH: u8 = 7;
 
 /// Encoding selected for *outgoing* frames. Decoding always accepts both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -185,6 +187,13 @@ fn enc_msg(out: &mut Vec<u8>, msg: &NetMsg) {
             for (p, s) in batch {
                 put_u64(out, p.raw());
                 put_sync(out, s);
+            }
+        }
+        NetMsg::AppBatch(batch) => {
+            out.push(TAG_APP_BATCH);
+            put_u32(out, batch.len() as u32);
+            for m in batch {
+                put_bytes(out, m.as_bytes());
             }
         }
         NetMsg::Baseline(BaselineMsg::Propose { participants, seq }) => {
@@ -318,6 +327,15 @@ fn dec_msg(cur: &mut Cur<'_>) -> Option<NetMsg> {
             }
             Some(NetMsg::SyncAgg(batch))
         }
+        TAG_APP_BATCH => {
+            // Each entry carries at least its own 4-byte length prefix.
+            let n = cur.count(4)?;
+            let mut batch = Vec::with_capacity(n);
+            for _ in 0..n {
+                batch.push(dec_app(cur)?);
+            }
+            Some(NetMsg::AppBatch(batch))
+        }
         TAG_BL_PROPOSE => {
             let n = cur.count(8)?;
             let mut participants = std::collections::BTreeSet::new();
@@ -398,6 +416,11 @@ mod tests {
                     p(2),
                     SyncPayload { cid: StartChangeId::new(2), view: None, cut: Cut::new() },
                 ),
+            ]),
+            NetMsg::AppBatch(vec![
+                AppMsg::from("ab"),
+                AppMsg::default(),
+                AppMsg::from(vec![255u8, 0, 128]),
             ]),
             NetMsg::Baseline(BaselineMsg::Propose {
                 participants: [p(1), p(2)].into_iter().collect(),
@@ -480,6 +503,40 @@ mod tests {
         );
         assert_eq!(hex, expected);
         assert_eq!(decode_body(&body), Some(msg));
+    }
+
+    /// Pinned golden bytes for the batch frame added in v1's tag space
+    /// (tag 7). Same compatibility rule as [`golden_bytes_are_stable`].
+    #[test]
+    fn golden_batch_bytes_are_stable() {
+        let msg = NetMsg::AppBatch(vec![
+            AppMsg::from("ab"),
+            AppMsg::default(),
+            AppMsg::from(vec![255u8]),
+        ]);
+        let body = encode_body(&msg, WireFormat::Binary).unwrap();
+        let hex: String = body.iter().map(|b| format!("{b:02x}")).collect();
+        let expected = concat!(
+            "01",       // BINARY_V1
+            "07",       // tag: AppBatch
+            "03000000", // 3 payloads
+            "02000000", // len 2
+            "6162",     // "ab"
+            "00000000", // len 0 (empty payload)
+            "01000000", // len 1
+            "ff",       // 0xFF
+        );
+        assert_eq!(hex, expected);
+        assert_eq!(decode_body(&body), Some(msg));
+    }
+
+    #[test]
+    fn batch_count_guard_rejects_hostile_count() {
+        // A huge claimed batch count with a short body must be rejected
+        // before any allocation.
+        let mut evil = vec![BINARY_V1, TAG_APP_BATCH];
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_body(&evil), None);
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub struct NetStats {
     pub coalesce_max: u64,
     /// High-water mark of any per-connection write-queue depth.
     pub queue_depth_max: u64,
+    /// Enqueues that found a write queue at or above the backpressure
+    /// watermark ([`crate::TcpConfig::queue_watermark`]).
+    pub backpressure_hits: u64,
 }
 
 impl NetStats {
@@ -62,6 +65,7 @@ impl NetStats {
             frames_flushed: reg.counter(vsgm_obs::names::NET_FRAMES_FLUSHED),
             coalesce_max: reg.gauge(vsgm_obs::names::NET_COALESCE_MAX).unwrap_or(0),
             queue_depth_max: reg.gauge(vsgm_obs::names::NET_QUEUE_DEPTH_MAX).unwrap_or(0),
+            backpressure_hits: reg.counter(vsgm_obs::names::NET_BACKPRESSURE),
         }
     }
 

@@ -138,6 +138,12 @@ pub struct TcpConfig {
     /// How long a sender waits for space on a full per-connection queue
     /// before declaring the peer stalled and dropping the connection.
     pub enqueue_timeout: Duration,
+    /// Queue depth at which an enqueue counts as a backpressure hit
+    /// ([`NetStats::backpressure_hits`]). The bounded queue plus the
+    /// blocking `enqueue_timeout` are the actual backpressure mechanism;
+    /// this watermark makes the pressure *observable* before the hard
+    /// limit stalls senders.
+    pub queue_watermark: usize,
 }
 
 impl Default for TcpConfig {
@@ -154,6 +160,7 @@ impl Default for TcpConfig {
             max_coalesce_frames: 256,
             max_flush_bytes: 1 << 20,
             enqueue_timeout: Duration::from_secs(2),
+            queue_watermark: 512,
         }
     }
 }
@@ -255,6 +262,7 @@ impl TcpTransport {
         s.frames_flushed = ws.frames_flushed.load(Ordering::Relaxed);
         s.coalesce_max = ws.coalesce_max.load(Ordering::Relaxed);
         s.queue_depth_max = ws.queue_depth_max.load(Ordering::Relaxed);
+        s.backpressure_hits = ws.backpressure_hits.load(Ordering::Relaxed);
         s
     }
 
@@ -268,6 +276,7 @@ impl TcpTransport {
         rec.counter(names::NET_FRAMES_FLUSHED, s.frames_flushed);
         rec.gauge(names::NET_COALESCE_MAX, s.coalesce_max);
         rec.gauge(names::NET_QUEUE_DEPTH_MAX, s.queue_depth_max);
+        rec.counter(names::NET_BACKPRESSURE, s.backpressure_hits);
     }
 
     /// Heartbeat frames received from peers (liveness evidence).
@@ -359,6 +368,12 @@ impl TcpTransport {
                     .writer_stats
                     .queue_depth_max
                     .fetch_max(depth as u64, Ordering::Relaxed);
+                if depth >= self.config.queue_watermark {
+                    self.shared
+                        .writer_stats
+                        .backpressure_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 Ok(())
             }
             Err(kind) => {
@@ -697,6 +712,30 @@ mod tests {
         );
         assert!(s.coalesce_max >= 2, "{s:?}");
         assert!(s.queue_depth_max >= 1, "{s:?}");
+    }
+
+    #[test]
+    fn watermark_counts_backpressure_hits() {
+        // Watermark 1: every successful enqueue observes depth >= 1, so
+        // each send registers a hit; the default watermark (512) leaves
+        // light traffic unpressured.
+        let (a, b) = pair_with(TcpConfig { queue_watermark: 1, ..TcpConfig::default() });
+        const N: usize = 8;
+        for i in 0..N {
+            a.send(&only(2), &NetMsg::App(AppMsg::from(format!("w{i}").as_str()))).unwrap();
+        }
+        for _ in 0..N {
+            b.recv_timeout(Duration::from_secs(5)).expect("message arrives");
+        }
+        let s = a.stats();
+        assert!(s.backpressure_hits >= N as u64, "{s:?}");
+        // Exported counters round-trip through a registry.
+        let mut reg = vsgm_obs::Registry::new();
+        a.export_obs(&mut reg);
+        let via_reg = crate::NetStats::from_registry(&reg);
+        assert_eq!(via_reg.backpressure_hits, s.backpressure_hits);
+        // An idle receiver with the default watermark sees no pressure.
+        assert_eq!(b.stats().backpressure_hits, 0, "{:?}", b.stats());
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub(crate) struct WriterStats {
     pub coalesce_max: AtomicU64,
     /// High-water mark of any per-connection queue depth at enqueue time.
     pub queue_depth_max: AtomicU64,
+    /// Enqueues that found a queue at or above the backpressure
+    /// watermark (`TcpConfig::queue_watermark`): evidence that senders
+    /// are outpacing a peer's connection.
+    pub backpressure_hits: AtomicU64,
 }
 
 /// Why an enqueue did not happen.

@@ -40,13 +40,16 @@ pub enum ObsEvent {
     MsgDelivered,
     /// Crash recovery reset the end-point's volatile state (§8).
     RecoveryReset,
+    /// A pending application-message batch was flushed to the wire (the
+    /// flush cause and size are recorded as counters/histograms).
+    BatchFlushed,
     /// A specification or proof invariant was observed violated.
     InvariantViolated,
 }
 
 impl ObsEvent {
     /// Every event kind, in declaration order (for table exporters).
-    pub const ALL: [ObsEvent; 12] = [
+    pub const ALL: [ObsEvent; 13] = [
         ObsEvent::StartChangeRecv,
         ObsEvent::SyncSent,
         ObsEvent::SyncRecv,
@@ -58,6 +61,7 @@ impl ObsEvent {
         ObsEvent::MsgSent,
         ObsEvent::MsgDelivered,
         ObsEvent::RecoveryReset,
+        ObsEvent::BatchFlushed,
         ObsEvent::InvariantViolated,
     ];
 
@@ -75,6 +79,7 @@ impl ObsEvent {
             ObsEvent::MsgSent => "msg_sent",
             ObsEvent::MsgDelivered => "msg_delivered",
             ObsEvent::RecoveryReset => "recovery_reset",
+            ObsEvent::BatchFlushed => "batch_flushed",
             ObsEvent::InvariantViolated => "invariant_violated",
         }
     }
@@ -93,6 +98,7 @@ impl ObsEvent {
             ObsEvent::MsgSent => "obs.msg_sent",
             ObsEvent::MsgDelivered => "obs.msg_delivered",
             ObsEvent::RecoveryReset => "obs.recovery_reset",
+            ObsEvent::BatchFlushed => "obs.batch_flushed",
             ObsEvent::InvariantViolated => "obs.invariant_violated",
         }
     }

@@ -153,6 +153,7 @@ impl Recorder for ObsRecorder {
                 | ObsEvent::MsgSent
                 | ObsEvent::MsgDelivered
                 | ObsEvent::RecoveryReset
+                | ObsEvent::BatchFlushed
                 | ObsEvent::InvariantViolated => {
                     self.open_spans.entry((pid, c)).or_insert(self.now);
                 }

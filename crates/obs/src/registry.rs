@@ -218,6 +218,20 @@ pub mod names {
     pub const EP_FORWARDS_SENT: &str = "endpoint.forwards_sent";
     /// Block requests issued (end-point layer).
     pub const EP_BLOCKS: &str = "endpoint.blocks";
+    /// Application-message batch flushes (one per wire frame carrying
+    /// original `app_msg` traffic, batched or not).
+    pub const EP_BATCH_FLUSHES: &str = "endpoint.batch_flushes";
+    /// Batch flushes triggered by the message-count limit.
+    pub const EP_BATCH_FLUSH_COUNT: &str = "endpoint.batch_flush_count";
+    /// Batch flushes triggered by the byte budget.
+    pub const EP_BATCH_FLUSH_BYTES: &str = "endpoint.batch_flush_bytes";
+    /// Batch flushes triggered by linger-deadline expiry.
+    pub const EP_BATCH_FLUSH_LINGER: &str = "endpoint.batch_flush_linger";
+    /// Batch flushes forced by an in-progress view change (the pre-cut
+    /// flush that keeps Fig. 10 cut computation exact).
+    pub const EP_BATCH_FLUSH_VIEW_CHANGE: &str = "endpoint.batch_flush_view_change";
+    /// Histogram of messages per flushed batch.
+    pub const EP_BATCH_SIZE: &str = "endpoint.batch_size";
     /// Messages dropped by the network (loss outside reliable sets).
     pub const NET_DROPPED: &str = "net.dropped";
     /// Messages delivered by the network.
@@ -232,6 +246,9 @@ pub mod names {
     pub const NET_COALESCE_MAX: &str = "net.coalesce_max";
     /// High-water mark of per-connection write-queue depth (gauge).
     pub const NET_QUEUE_DEPTH_MAX: &str = "net.queue_depth_max";
+    /// Enqueues that found the per-connection write queue at or above its
+    /// backpressure watermark (senders are throttling).
+    pub const NET_BACKPRESSURE: &str = "net.backpressure_hits";
     /// Histogram of start_change → view-install span latency, µs.
     pub const SYNC_ROUND_LATENCY_US: &str = "span.sync_round_latency_us";
     /// Membership rounds entered by servers.

@@ -174,6 +174,7 @@ impl BaselineMsg {
 /// | [`NetMsg::Fwd`]     | `fwd_msg`  | Fig. 9/10 |
 /// | [`NetMsg::Sync`]    | `sync_msg` | Fig. 10 (`VS_RFIFO+TS_p`) |
 /// | [`NetMsg::SyncAgg`] | — (§9 two-tier extension) | this repo |
+/// | [`NetMsg::AppBatch`] | — (endpoint batching) | this repo |
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum NetMsg {
     /// "All following `App` messages from me were sent in view `v`."
@@ -188,6 +189,12 @@ pub enum NetMsg {
     /// §9 extension: a leader-aggregated batch of synchronization messages
     /// (one per constituent end-point).
     SyncAgg(Vec<(ProcessId, SyncPayload)>),
+    /// A batch of consecutive original application messages from one
+    /// sender, in FIFO order within the stream delimited by the latest
+    /// `ViewMsg`. Semantically identical to sending each [`NetMsg::App`]
+    /// individually back-to-back — receivers unbatch before any protocol
+    /// processing, so the per-message event stream is unchanged.
+    AppBatch(Vec<AppMsg>),
     /// A message of the two-round pre-agreement baseline algorithm.
     Baseline(BaselineMsg),
 }
@@ -201,6 +208,7 @@ impl NetMsg {
             NetMsg::Fwd(_) => "fwd_msg",
             NetMsg::Sync(_) => "sync_msg",
             NetMsg::SyncAgg(_) => "sync_agg",
+            NetMsg::AppBatch(_) => "app_batch",
             NetMsg::Baseline(BaselineMsg::Propose { .. }) => "bl_propose",
             NetMsg::Baseline(BaselineMsg::Sync { .. }) => "bl_sync",
         }
@@ -214,6 +222,9 @@ impl NetMsg {
             NetMsg::Fwd(f) => 32 + 8 + f.view.len() * 16 + f.msg.len(),
             NetMsg::Sync(s) => s.wire_size(),
             NetMsg::SyncAgg(batch) => batch.iter().map(|(_, s)| 8 + s.wire_size()).sum(),
+            NetMsg::AppBatch(batch) => {
+                16 + batch.iter().map(|m| 4 + m.len()).sum::<usize>()
+            }
             NetMsg::Baseline(b) => b.wire_size(),
         }
     }
@@ -275,6 +286,7 @@ mod tests {
             "sync_msg"
         );
         assert_eq!(NetMsg::SyncAgg(vec![]).tag(), "sync_agg");
+        assert_eq!(NetMsg::AppBatch(vec![AppMsg::from("x")]).tag(), "app_batch");
     }
 
     #[test]
@@ -293,6 +305,7 @@ mod tests {
                 view: Some(v),
                 cut: Cut::from_iter([(p(1), 2), (p(2), 0)]),
             }),
+            NetMsg::AppBatch(vec![AppMsg::from("a"), AppMsg::from("bb")]),
         ];
         for m in msgs {
             let s = serde_json::to_string(&m).unwrap();

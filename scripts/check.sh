@@ -35,6 +35,22 @@ VSGM_BENCH_JSON="$PWD/BENCH_net.json" \
     cargo bench -q -p vsgm-bench --bench net_throughput "${CARGO_FLAGS[@]}" >/dev/null
 test -s BENCH_net.json
 
+# GCS-bench smoke: the endpoint batching comparison (per-message vs
+# small/large batches) over the full group-multicast path on TCP
+# loopback. Emits BENCH_gcs.json at the repo root; an empty or missing
+# file fails the gate.
+echo "==> gcs-bench smoke (BENCH_gcs.json)"
+VSGM_GCS_BENCH_MSGS="${VSGM_GCS_BENCH_MSGS:-2000}" \
+VSGM_BENCH_BUDGET_MS="${VSGM_BENCH_BUDGET_MS:-50}" \
+VSGM_BENCH_JSON="$PWD/BENCH_gcs.json" \
+    cargo bench -q -p vsgm-bench --bench gcs_throughput "${CARGO_FLAGS[@]}" >/dev/null
+test -s BENCH_gcs.json
+
+# Batching differential suite, run by name so a batching regression
+# fails with a readable stage (the suite is also part of `cargo test`).
+echo "==> batching differential suite"
+cargo test -q -p vsgm-integration --test batching_differential "${CARGO_FLAGS[@]}" >/dev/null
+
 # Chaos smoke: randomized fault-injection search over a fixed seed batch.
 # Every generated scenario must pass the full checker suite (exit 0); the
 # run is deterministic, so a failure here is a reproducible protocol bug —
