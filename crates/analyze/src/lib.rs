@@ -13,7 +13,9 @@
 //! | `P1` | panic-freedom: no `unwrap`/`expect`/panicking macros/indexing in protocol code |
 //! | `I1` | IOA discipline: `*_pre`/`*_eff` pairing; total `ObsEvent` vocabulary |
 //! | `C1` | spec coverage: every spec action exercised by a trace-checker test |
-//! | `W0` | waiver hygiene: `vsgm-allow` comments must carry a reason |
+//! | `R1` | lock discipline: lock fields declare a `vsgm-lock-tier`; no guard held across a blocking call |
+//! | `T1` | clock discipline: time enters via `Input::Tick`/sim time, never the ambient clock |
+//! | `W0` | waiver hygiene: `vsgm-allow`/`vsgm-lock-tier` comments must be well-formed, and every waiver must suppress something |
 //!
 //! Findings carry `file:line`, the rule id, and a fix hint. A finding is
 //! suppressed by an inline waiver — `// vsgm-allow(RULE): reason` on the
@@ -79,6 +81,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of findings suppressed by well-formed waivers.
     pub waived: usize,
+    /// Suppressed-finding counts keyed by rule id — the waiver budget.
+    /// Tests pin these totals so a new waiver is a visible, reviewed
+    /// event rather than silent drift.
+    pub waived_by_rule: std::collections::BTreeMap<String, usize>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -112,22 +118,45 @@ pub fn analyze_root(root: &Path, selected: Option<&BTreeSet<String>>) -> io::Res
     if enabled("C1") {
         raw.extend(rules::c1(&files));
     }
+    if enabled("R1") {
+        raw.extend(rules::r1(&files));
+    }
+    if enabled("T1") {
+        raw.extend(rules::t1(&files));
+    }
 
-    // Apply waivers, then surface malformed waivers as W0 findings.
+    // Apply waivers, attributing each suppression to the waiver comment
+    // that did the suppressing so unused waivers can be flagged below.
     let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut used: BTreeSet<(String, usize)> = BTreeSet::new();
     for f in raw {
-        let waived = files
-            .iter()
-            .find(|sf| sf.rel == f.file)
-            .is_some_and(|sf| sf.scanned.is_waived(&f.rule, f.line));
+        let sf = files.iter().find(|sf| sf.rel == f.file);
+        let waived = sf.is_some_and(|sf| sf.scanned.is_waived(&f.rule, f.line));
         if waived {
             report.waived += 1;
+            *report.waived_by_rule.entry(f.rule.clone()).or_insert(0) += 1;
+            if let Some(sf) = sf {
+                for w in sf.scanned.waivers.iter().filter(|w| {
+                    w.has_reason
+                        && w.rules.iter().any(|r| r == &f.rule)
+                        && sf.scanned.covers(w.line, f.line)
+                }) {
+                    used.insert((sf.rel.clone(), w.line));
+                }
+            }
         } else {
             report.findings.push(f);
         }
     }
+
+    // Hygiene (W0): malformed waivers/tier declarations, and — when the
+    // full rule set ran, so `used` is complete — waivers that suppress
+    // nothing. The analyzer's own sources discuss the comment syntax in
+    // prose, so they are exempt from the sweeps that key on that text.
     if enabled("W0") {
+        let known: BTreeSet<&str> = rules::RULES.iter().map(|(r, _)| *r).collect();
         for sf in &files {
+            let is_analyze = sf.crate_name.as_deref() == Some("analyze");
             for w in &sf.scanned.waivers {
                 if !w.has_reason {
                     report.findings.push(Finding {
@@ -141,6 +170,43 @@ pub fn analyze_root(root: &Path, selected: Option<&BTreeSet<String>>) -> io::Res
                         hint: "write `// vsgm-allow(RULE): <why the rule is safe to bend here>`"
                             .to_string(),
                     });
+                }
+            }
+            for t in sf.scanned.tiers.iter().filter(|t| !t.is_well_formed() && !is_analyze) {
+                report.findings.push(Finding {
+                    rule: "W0".to_string(),
+                    file: sf.rel.clone(),
+                    line: t.line,
+                    message: "malformed vsgm-lock-tier declaration (tier must be a number \
+                              and a `: reason` must follow) — it is ignored"
+                        .to_string(),
+                    hint: "write `// vsgm-lock-tier(N): <what may be held when this is taken>`"
+                        .to_string(),
+                });
+            }
+            if selected.is_none() && !is_analyze {
+                for w in &sf.scanned.waivers {
+                    let in_test =
+                        sf.scanned.test_line.get(w.line.saturating_sub(1)).copied().unwrap_or(false);
+                    let all_known = w.rules.iter().all(|r| known.contains(r.as_str()));
+                    if w.has_reason
+                        && !in_test
+                        && all_known
+                        && !used.contains(&(sf.rel.clone(), w.line))
+                    {
+                        report.findings.push(Finding {
+                            rule: "W0".to_string(),
+                            file: sf.rel.clone(),
+                            line: w.line,
+                            message: format!(
+                                "waiver for {} suppresses no finding — stale, delete it",
+                                w.rules.join(", ")
+                            ),
+                            hint: "every waiver must buy an exception some rule would \
+                                   otherwise flag; remove waivers the code has outgrown"
+                                .to_string(),
+                        });
+                    }
                 }
             }
         }

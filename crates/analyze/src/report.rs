@@ -11,8 +11,10 @@ pub fn table(report: &Report) -> String {
     if report.findings.is_empty() {
         let _ = writeln!(
             out,
-            "vsgm-analyze: clean — {} files scanned, 0 findings ({} waived)",
-            report.files_scanned, report.waived
+            "vsgm-analyze: clean — {} files scanned, 0 findings ({} waived{})",
+            report.files_scanned,
+            report.waived,
+            waived_breakdown(report)
         );
         return out;
     }
@@ -29,12 +31,23 @@ pub fn table(report: &Report) -> String {
     }
     let _ = writeln!(
         out,
-        "\nvsgm-analyze: {} finding(s) in {} files scanned ({} waived)",
+        "\nvsgm-analyze: {} finding(s) in {} files scanned ({} waived{})",
         report.findings.len(),
         report.files_scanned,
-        report.waived
+        report.waived,
+        waived_breakdown(report)
     );
     out
+}
+
+/// `: D1 3, P1 7` — or empty when nothing was waived.
+fn waived_breakdown(report: &Report) -> String {
+    if report.waived_by_rule.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> =
+        report.waived_by_rule.iter().map(|(r, n)| format!("{r} {n}")).collect();
+    format!(": {}", parts.join(", "))
 }
 
 /// Renders the report as a single JSON object. Hand-rolled so the crate
@@ -44,6 +57,14 @@ pub fn json(report: &Report) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(out, "  \"waived\": {},", report.waived);
+    let _ = write!(out, "  \"waived_by_rule\": {{");
+    for (i, (r, n)) in report.waived_by_rule.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {n}", json_str(r));
+    }
+    out.push_str("},\n");
     let _ = write!(out, "  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
         if i > 0 {
@@ -118,6 +139,7 @@ mod tests {
             }],
             waived: 2,
             files_scanned: 10,
+            ..Report::default()
         }
     }
 
@@ -145,7 +167,7 @@ mod tests {
 
     #[test]
     fn clean_table_is_one_line() {
-        let r = Report { findings: vec![], waived: 0, files_scanned: 3 };
+        let r = Report { files_scanned: 3, ..Report::default() };
         assert!(table(&r).starts_with("vsgm-analyze: clean"));
     }
 }

@@ -28,6 +28,28 @@ pub struct Waiver {
     pub has_reason: bool,
 }
 
+/// A lock-order tier declaration: `// vsgm-lock-tier(1): reason`.
+/// Rule `R1` requires one on every lock-typed struct field in the
+/// threaded net layer; the tier number documents the global acquisition
+/// order (lower tiers are taken first, same-tier locks never nest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierDecl {
+    /// 1-based line the declaration comment appears on.
+    pub line: usize,
+    /// The tier number inside the parentheses, if it parsed as one.
+    pub tier: Option<u64>,
+    /// Whether a non-empty `: reason` followed the closing parenthesis.
+    pub has_reason: bool,
+}
+
+impl TierDecl {
+    /// A declaration counts only when the tier parsed and a reason
+    /// follows; malformed ones are reported (rule `W0`) and ignored.
+    pub fn is_well_formed(&self) -> bool {
+        self.tier.is_some() && self.has_reason
+    }
+}
+
 /// The result of scanning one source file.
 #[derive(Debug, Default)]
 pub struct Scanned {
@@ -42,6 +64,8 @@ pub struct Scanned {
     pub blank: Vec<bool>,
     /// All waiver comments found, in order of appearance.
     pub waivers: Vec<Waiver>,
+    /// All lock-tier declarations found, in order of appearance.
+    pub tiers: Vec<TierDecl>,
 }
 
 impl Scanned {
@@ -67,16 +91,51 @@ impl Scanned {
         if names_rule(line) {
             return true;
         }
+        self.comment_block_above(line, names_rule)
+    }
+
+    /// The well-formed lock-tier declaration covering 1-based line
+    /// `line`, if any: on the same line or on the contiguous run of
+    /// comment-only lines directly above (the same placement rule as
+    /// waivers).
+    pub fn tier_for(&self, line: usize) -> Option<&TierDecl> {
+        let at = |l: usize| self.tiers.iter().find(|t| t.line == l && t.is_well_formed());
+        if let Some(t) = at(line) {
+            return Some(t);
+        }
+        let mut found = None;
+        self.comment_block_above(line, |l| {
+            if let Some(t) = at(l) {
+                found = Some(t);
+                true
+            } else {
+                false
+            }
+        });
+        found
+    }
+
+    /// Whether a waiver/tier comment on `w_line` is positioned to cover
+    /// a finding on `line`: the same line, or the contiguous run of
+    /// comment-only lines directly above it.
+    pub fn covers(&self, w_line: usize, line: usize) -> bool {
+        w_line == line || self.comment_block_above(line, |l| l == w_line)
+    }
+
+    /// Walks the contiguous run of comment-only lines directly above
+    /// 1-based `line`, calling `hit` on each; returns whether `hit`
+    /// returned true before the run ended.
+    fn comment_block_above(&self, line: usize, mut hit: impl FnMut(usize) -> bool) -> bool {
         let mut l = line;
         while l > 1 {
             l -= 1;
             let idx = l - 1;
-            let comment_only =
-                self.no_code.get(idx).copied().unwrap_or(false) && !self.blank.get(idx).copied().unwrap_or(true);
+            let comment_only = self.no_code.get(idx).copied().unwrap_or(false)
+                && !self.blank.get(idx).copied().unwrap_or(true);
             if !comment_only {
                 return false;
             }
-            if names_rule(l) {
+            if hit(l) {
                 return true;
             }
         }
@@ -234,8 +293,9 @@ pub fn scan(src: &str) -> Scanned {
     let no_code: Vec<bool> = mask_lines.iter().map(|l| l.trim().is_empty()).collect();
     let test_line = mark_test_regions(&mask_lines);
     let waivers = comments.iter().flat_map(|(l, text)| parse_waivers(*l, text)).collect();
+    let tiers = comments.iter().flat_map(|(l, text)| parse_tiers(*l, text)).collect();
 
-    Scanned { mask: mask_lines, test_line, no_code, blank, waivers }
+    Scanned { mask: mask_lines, test_line, no_code, blank, waivers, tiers }
 }
 
 /// If position `i` starts `#*"` (zero or more hashes then a quote),
@@ -300,6 +360,24 @@ fn parse_waivers(line: usize, text: &str) -> Vec<Waiver> {
         let tail = after.get(close + 1..).unwrap_or("").trim_start();
         let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
         out.push(Waiver { line, rules, has_reason });
+        rest = after.get(close + 1..).unwrap_or("");
+    }
+    out
+}
+
+/// Parses `vsgm-lock-tier(N): reason` occurrences out of one line's
+/// comment text.
+fn parse_tiers(line: usize, text: &str) -> Vec<TierDecl> {
+    const NEEDLE: &str = "vsgm-lock-tier(";
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(NEEDLE) {
+        let after = rest.get(pos + NEEDLE.len()..).unwrap_or("");
+        let Some(close) = after.find(')') else { break };
+        let tier = after.get(..close).unwrap_or("").trim().parse::<u64>().ok();
+        let tail = after.get(close + 1..).unwrap_or("").trim_start();
+        let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+        out.push(TierDecl { line, tier, has_reason });
         rest = after.get(close + 1..).unwrap_or("");
     }
     out
@@ -569,6 +647,27 @@ mod tests {
         let src = "// vsgm-allow(P1): above\n\nx.unwrap();\n";
         let s = scan(src);
         assert!(!s.is_waived("P1", 3));
+    }
+
+    #[test]
+    fn tier_parsing_and_placement() {
+        let src = "// vsgm-lock-tier(2): taken after the connect guard\n\
+                   inner: Mutex<State>,\n\
+                   other: Mutex<State>, // vsgm-lock-tier(1): leaf lock, nothing nests inside\n\
+                   bare: Mutex<State>,\n";
+        let s = scan(src);
+        assert_eq!(s.tiers.len(), 2);
+        assert_eq!(s.tier_for(2).and_then(|t| t.tier), Some(2));
+        assert_eq!(s.tier_for(3).and_then(|t| t.tier), Some(1));
+        assert!(s.tier_for(4).is_none());
+    }
+
+    #[test]
+    fn malformed_tiers_are_kept_but_not_applied() {
+        let s = scan("a: Mutex<X>, // vsgm-lock-tier(one): not a number\nb: Mutex<X>, // vsgm-lock-tier(3)\n");
+        assert_eq!(s.tiers.len(), 2);
+        assert!(s.tiers.iter().all(|t| !t.is_well_formed()));
+        assert!(s.tier_for(1).is_none() && s.tier_for(2).is_none());
     }
 
     #[test]

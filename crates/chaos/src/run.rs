@@ -23,7 +23,7 @@ use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use vsgm_core::{BatchConfig, Config};
-use vsgm_harness::{Scenario, Sim, SimOptions, Step};
+use vsgm_harness::{apply_step, Scenario, Sim, SimOptions, Step};
 use vsgm_ioa::Violation;
 use vsgm_net::{FaultPlan, LatencyModel};
 use vsgm_obs::ObsEvent;
@@ -203,39 +203,6 @@ pub fn validate(scenario: &Scenario) -> Result<(), String> {
     Ok(())
 }
 
-fn apply(sim: &mut Sim<vsgm_core::Endpoint>, step: &Step) {
-    use vsgm_types::{AppMsg, ProcSet};
-    let set_of = |ids: &[u64]| -> ProcSet { ids.iter().map(|&i| ProcessId::new(i)).collect() };
-    match step {
-        Step::Send { p, msg } => sim.send(ProcessId::new(*p), AppMsg::from(msg.as_str())),
-        Step::Reconfigure { members } => {
-            sim.reconfigure(&set_of(members));
-        }
-        Step::StartChange { members } => sim.start_change(&set_of(members)),
-        Step::FormView { members } => {
-            sim.form_view(&set_of(members));
-        }
-        Step::Partition { groups } => {
-            let groups: Vec<Vec<ProcessId>> =
-                groups.iter().map(|g| g.iter().map(|&i| ProcessId::new(i)).collect()).collect();
-            sim.partition(&groups);
-        }
-        Step::Heal => sim.heal(),
-        Step::Crash { p } => sim.crash(ProcessId::new(*p)),
-        Step::Recover { p } => sim.recover(ProcessId::new(*p)),
-        Step::Run => sim.run_to_quiescence(),
-        Step::RunFor { ms } => sim.run_for(vsgm_ioa::SimTime::from_millis(*ms)),
-        Step::Faults { drop, dup, reorder_ms, burst } => sim.set_fault_plan(FaultPlan {
-            drop: *drop,
-            dup: *dup,
-            reorder_ms: *reorder_ms,
-            burst: *burst,
-            burst_len: 0,
-        }),
-        Step::CrashDuringSync { p } => sim.crash_during_sync(ProcessId::new(*p)),
-    }
-}
-
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
         .downcast_ref::<&str>()
@@ -287,7 +254,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> RunOutcome {
     let mut panicked: Option<String> = None;
     for step in &scenario.steps {
         let r = catch_unwind(AssertUnwindSafe(|| {
-            apply(&mut sim, step);
+            apply_step(&mut sim, step);
             sim.assert_paper_invariants();
         }));
         if let Err(p) = r {

@@ -53,8 +53,9 @@ impl<T: Transport> Node<T> {
     /// Panics if the endpoint and transport disagree about the identity.
     pub fn new(ep: Endpoint, transport: T) -> Self {
         assert_eq!(ep.pid(), transport.me(), "endpoint/transport identity mismatch");
-        // vsgm-allow(D1): the tick epoch is driver-shell bookkeeping; the
-        // endpoint only ever sees the derived monotone microsecond input.
+        // vsgm-allow(D1, T1): the tick epoch is driver-shell bookkeeping;
+        // the endpoint only ever sees the derived monotone microsecond
+        // input.
         Node { ep, transport, auto_block_ok: true, epoch: Instant::now() }
     }
 
@@ -124,15 +125,15 @@ impl<T: Transport> Node<T> {
     ///
     /// Propagates transport send failures.
     pub fn pump(&mut self, wait: Duration) -> io::Result<Vec<AppEvent>> {
-        // vsgm-allow(D1): pump() is the real-transport driver shell; the
-        // deadline only bounds blocking on the socket and never feeds the
-        // protocol state machine, which stays deterministic.
+        // vsgm-allow(D1, T1): pump() is the real-transport driver shell;
+        // the deadline only bounds blocking on the socket and never feeds
+        // the protocol state machine, which stays deterministic.
         let deadline = Instant::now() + wait;
         let mut out = Vec::new();
         loop {
             // Feed the wall clock as an explicit Tick input (only the
             // batching linger deadline reads it).
-            // vsgm-allow(D1): the clock enters the automaton as an Input,
+            // vsgm-allow(T1): the clock enters the automaton as an Input,
             // same as in the simulator — the transition relation itself
             // stays deterministic in its inputs.
             let now_us = self.epoch.elapsed().as_micros() as u64;
@@ -151,8 +152,8 @@ impl<T: Transport> Node<T> {
             if got_any || had_effects {
                 continue;
             }
-            // vsgm-allow(D1): same deadline bookkeeping — wall-clock never
-            // reaches the endpoint automaton.
+            // vsgm-allow(D1, T1): same deadline bookkeeping — wall-clock
+            // never reaches the endpoint automaton.
             let now = Instant::now();
             if now >= deadline {
                 return Ok(out);

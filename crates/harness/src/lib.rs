@@ -27,5 +27,5 @@ pub mod server_sim;
 pub mod sim;
 
 pub use metrics::Summary;
-pub use scenario::{Scenario, Step};
+pub use scenario::{apply_step, Scenario, Step};
 pub use sim::{Sim, SimOptions};

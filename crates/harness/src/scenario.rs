@@ -112,6 +112,40 @@ fn set_of(ids: &[u64]) -> ProcSet {
     ids.iter().map(|&i| ProcessId::new(i)).collect()
 }
 
+/// Applies one scripted [`Step`] to a paper-algorithm simulation. The
+/// single step interpreter shared by [`Scenario::run`] and the chaos
+/// runner (`vsgm-chaos`), so the two cannot drift apart.
+pub fn apply_step(sim: &mut Sim<vsgm_core::Endpoint>, step: &Step) {
+    match step {
+        Step::Send { p, msg } => sim.send(ProcessId::new(*p), AppMsg::from(msg.as_str())),
+        Step::Reconfigure { members } => {
+            sim.reconfigure(&set_of(members));
+        }
+        Step::StartChange { members } => sim.start_change(&set_of(members)),
+        Step::FormView { members } => {
+            sim.form_view(&set_of(members));
+        }
+        Step::Partition { groups } => {
+            let groups: Vec<Vec<ProcessId>> =
+                groups.iter().map(|g| g.iter().map(|&i| ProcessId::new(i)).collect()).collect();
+            sim.partition(&groups);
+        }
+        Step::Heal => sim.heal(),
+        Step::Crash { p } => sim.crash(ProcessId::new(*p)),
+        Step::Recover { p } => sim.recover(ProcessId::new(*p)),
+        Step::Run => sim.run_to_quiescence(),
+        Step::RunFor { ms } => sim.run_for(SimTime::from_millis(*ms)),
+        Step::Faults { drop, dup, reorder_ms, burst } => sim.set_fault_plan(FaultPlan {
+            drop: *drop,
+            dup: *dup,
+            reorder_ms: *reorder_ms,
+            burst: *burst,
+            burst_len: 0,
+        }),
+        Step::CrashDuringSync { p } => sim.crash_during_sync(ProcessId::new(*p)),
+    }
+}
+
 impl Scenario {
     /// Parses a scenario from JSON.
     ///
@@ -156,38 +190,7 @@ impl Scenario {
             sim.enable_obs();
         }
         for step in &self.steps {
-            match step {
-                Step::Send { p, msg } => {
-                    sim.send(ProcessId::new(*p), AppMsg::from(msg.as_str()))
-                }
-                Step::Reconfigure { members } => {
-                    sim.reconfigure(&set_of(members));
-                }
-                Step::StartChange { members } => sim.start_change(&set_of(members)),
-                Step::FormView { members } => {
-                    sim.form_view(&set_of(members));
-                }
-                Step::Partition { groups } => {
-                    let groups: Vec<Vec<ProcessId>> = groups
-                        .iter()
-                        .map(|g| g.iter().map(|&i| ProcessId::new(i)).collect())
-                        .collect();
-                    sim.partition(&groups);
-                }
-                Step::Heal => sim.heal(),
-                Step::Crash { p } => sim.crash(ProcessId::new(*p)),
-                Step::Recover { p } => sim.recover(ProcessId::new(*p)),
-                Step::Run => sim.run_to_quiescence(),
-                Step::RunFor { ms } => sim.run_for(SimTime::from_millis(*ms)),
-                Step::Faults { drop, dup, reorder_ms, burst } => sim.set_fault_plan(FaultPlan {
-                    drop: *drop,
-                    dup: *dup,
-                    reorder_ms: *reorder_ms,
-                    burst: *burst,
-                    burst_len: 0,
-                }),
-                Step::CrashDuringSync { p } => sim.crash_during_sync(ProcessId::new(*p)),
-            }
+            apply_step(&mut sim, step);
             sim.assert_paper_invariants();
         }
         sim.run_to_quiescence();

@@ -133,7 +133,7 @@ impl<E: GroupEndpoint> Sim<E> {
         let sched_rng = rng.fork(1);
         let net = SimNet::new(procs.iter().copied(), opts.latency, rng);
         let clients = procs.iter().map(|p| (*p, BlockingClient::new())).collect();
-        let checks = if opts.check { vsgm_spec::standard_checks() } else { CheckSet::new() };
+        let checks = if opts.check { vsgm_spec::full_checks(None) } else { CheckSet::new() };
         Sim {
             opts,
             time: SimTime::ZERO,

@@ -25,6 +25,7 @@
 
 pub mod automaton;
 pub mod check;
+pub mod depend;
 pub mod rng;
 pub mod sched;
 pub mod time;
@@ -32,6 +33,7 @@ pub mod trace;
 
 pub use automaton::Automaton;
 pub use check::{CheckSet, Checker, Violation};
+pub use depend::{Dependence, SleepSet};
 pub use rng::SimRng;
 pub use sched::FairScheduler;
 pub use time::SimTime;

@@ -105,6 +105,8 @@ pub struct TcpTransport {
     local_addr: SocketAddr,
     incoming: Receiver<(ProcessId, NetMsg)>,
     config: TcpConfig,
+    // vsgm-lock-tier(4): taken under a per-peer connect guard during
+    // backoff; never held while taking any other lock.
     jitter: Mutex<SimRng>,
 }
 
@@ -168,12 +170,20 @@ impl Default for TcpConfig {
 /// State shared with the reader/accept/heartbeat/writer threads.
 struct TcpShared {
     me: ProcessId,
+    // vsgm-lock-tier(3): taken under a per-peer connect guard (and on
+    // registration with nothing held); released before connecting.
     addr_book: Mutex<HashMap<ProcessId, SocketAddr>>,
+    // vsgm-lock-tier(2): taken bare on the fast path and re-checked
+    // under a per-peer connect guard; never held across a connect.
     outgoing: Mutex<HashMap<ProcessId, PeerWriter>>,
     /// Per-peer guards serializing connection establishment: the loser of
     /// a racing first send waits here and reuses the winner's socket.
+    // vsgm-lock-tier(1): the map lock is only held to clone out the
+    // per-peer Arc; the per-peer guards inside outrank every other lock.
     connect_locks: Mutex<HashMap<ProcessId, Arc<Mutex<()>>>>,
     /// Last time any frame (handshake, data, heartbeat) arrived per peer.
+    // vsgm-lock-tier(5): leaf — touched by reader/heartbeat threads with
+    // nothing else held.
     last_heard: Mutex<HashMap<ProcessId, Instant>>,
     writer_stats: Arc<WriterStats>,
     retries: AtomicU64,
@@ -333,6 +343,11 @@ impl TcpTransport {
                     self.shared.retries.fetch_add(1, Ordering::Relaxed);
                     let jitter_us =
                         self.jitter.lock().range(0, (delay.as_micros() as u64) / 2 + 1);
+                    // vsgm-allow(R1): the backoff sleeps under the
+                    // per-peer connect guard by design — racing senders
+                    // must wait for the one connection attempt rather
+                    // than dial the same peer concurrently. The guard is
+                    // per-peer, so no other traffic is delayed.
                     std::thread::sleep(delay + Duration::from_micros(jitter_us));
                     delay = (delay * 2).min(self.config.backoff_cap);
                 }

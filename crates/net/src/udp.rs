@@ -50,10 +50,17 @@ struct PeerRecv {
 struct Shared {
     me: ProcessId,
     socket: UdpSocket,
+    // vsgm-lock-tier(1): the retransmit sweep holds this while taking
+    // send_state, so the address book always comes first.
     addr_book: Mutex<HashMap<ProcessId, SocketAddr>>,
+    // vsgm-lock-tier(2): taken under addr_book by the retransmit sweep,
+    // bare everywhere else.
     send_state: Mutex<HashMap<ProcessId, PeerSend>>,
+    // vsgm-lock-tier(3): leaf — reorder buffers, receive path only.
     recv_state: Mutex<HashMap<ProcessId, PeerRecv>>,
+    // vsgm-lock-tier(4): leaf — loss-injection knob, read per datagram.
     loss: Mutex<Option<(f64, SimRng)>>,
+    // vsgm-lock-tier(5): leaf — codec selection, read per encode.
     wire_format: Mutex<WireFormat>,
     shutdown: AtomicBool,
 }

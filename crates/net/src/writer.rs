@@ -57,8 +57,13 @@ struct QueueInner {
 
 /// Bounded MPSC queue of encoded frames feeding one writer thread.
 struct FrameQueue {
+    // vsgm-lock-tier(1): the queue's only lock; held across the paired
+    // condvar waits (required) and never while taking another lock.
     inner: Mutex<QueueInner>,
+    // vsgm-lock-tier(1): condvar paired with `inner` — same tier, it is
+    // only ever waited on with that one mutex.
     not_empty: Condvar,
+    // vsgm-lock-tier(1): condvar paired with `inner`, as above.
     not_full: Condvar,
     cap: usize,
 }

@@ -46,7 +46,8 @@ pub use trans_set::TransSetSpec;
 pub use vs_rfifo::VsRfifoSpec;
 pub use wv_rfifo::WvRfifoSpec;
 
-use vsgm_ioa::CheckSet;
+use vsgm_ioa::{CheckSet, TraceEntry, Violation};
+use vsgm_types::View;
 
 /// Builds the standard battery of safety checkers: `MBRSHP`, `CO_RFIFO`,
 /// `WV_RFIFO:SPEC`, `VS_RFIFO:SPEC`, `TRANS_SET:SPEC`, `SELF:SPEC`, and
@@ -67,4 +68,33 @@ pub fn standard_checks() -> CheckSet {
     set.add(SelfDeliverySpec::new());
     set.add(ClientSpec::new());
     set
+}
+
+/// Builds the **full** oracle suite: every safety checker from
+/// [`standard_checks`], plus — when `final_view` names the view the run
+/// stabilizes to — the Property 4.2 conditional-liveness checker.
+///
+/// This is the single judging entry point shared by the simulation
+/// harness (`vsgm-harness`), the fault-injection searcher (`vsgm-chaos`),
+/// and the exhaustive interleaving explorer (`vsgm-explore`): all three
+/// judge traces with exactly this battery, so a checker added here is
+/// automatically enforced everywhere.
+pub fn full_checks(final_view: Option<View>) -> CheckSet {
+    let mut set = standard_checks();
+    if let Some(v) = final_view {
+        set.add(LivenessSpec::new(v));
+    }
+    set
+}
+
+/// Judges a complete recorded trace against [`full_checks`] and returns
+/// every violation found (empty = the trace satisfies all specs; with a
+/// `final_view`, also Property 4.2 for that view).
+///
+/// ```
+/// assert!(vsgm_spec::judge_trace(&[], None).is_empty());
+/// ```
+pub fn judge_trace(entries: &[TraceEntry], final_view: Option<View>) -> Vec<Violation> {
+    let mut set = full_checks(final_view);
+    set.run(entries).to_vec()
 }

@@ -21,9 +21,40 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace "${CARGO_FLAGS[@]}" -- -D warnings
 
 # Protocol analyzer: deny-by-default. Exits nonzero on any unwaived
-# finding (determinism, panic-freedom, IOA discipline, spec coverage).
+# finding (determinism, panic-freedom, IOA discipline, spec coverage,
+# lock discipline, clock discipline, waiver hygiene).
 echo "==> vsgm-analyze --format json"
 cargo run -q -p vsgm-analyze "${CARGO_FLAGS[@]}" -- --format json
+
+# Explore smoke: exhaustively enumerate every interleaving of the three
+# seed configurations (DPOR-pruned) and judge each path with the full
+# checker suite. Exit 1 carries a replayable counterexample schedule.
+# The same counts are pinned as regressions in crates/explore/tests.
+echo "==> vsgm-explore seeds"
+for cfg in canonical aggregation crash-recovery; do
+    cargo run -q --release -p vsgm-explore --bin explore "${CARGO_FLAGS[@]}" -- \
+        --config "$cfg" --format json
+done
+
+# TSan smoke: the writer-thread / batching / transport paths of vsgm-net
+# under ThreadSanitizer. A *sound* run needs std itself instrumented
+# (-Zbuild-std), i.e. a nightly toolchain with the rust-src component —
+# without it TSan sees no happens-before edges inside std's locks and
+# reports false races, so the stage skips rather than cry wolf. Where it
+# does run, any report is a real data race and fails the gate; elsewhere
+# the lexical R1 lint above still covers the lock-discipline basics.
+echo "==> tsan smoke (net writer/batching)"
+host_triple="$(rustc -vV | sed -n 's/^host: //p')"
+if rustup run nightly cargo --version >/dev/null 2>&1 \
+    && [ -d "$(rustup run nightly rustc --print sysroot)/lib/rustlib/src/rust/library" ]; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+        rustup run nightly cargo test -q "${CARGO_FLAGS[@]}" \
+        -Zbuild-std --target "$host_triple" --target-dir target/tsan \
+        -p vsgm-net writer::
+    echo "    tsan: clean"
+else
+    echo "    tsan: nightly with rust-src unavailable, skipped"
+fi
 
 # Net-bench smoke: a short loopback run of the codec/flush comparison
 # (JSON vs binary × per-send vs coalesced). Emits BENCH_net.json at the
