@@ -15,6 +15,7 @@
 //! | `C1` | spec coverage: every spec action exercised by a trace-checker test |
 //! | `R1` | lock discipline: lock fields declare a `vsgm-lock-tier`; no guard held across a blocking call |
 //! | `T1` | clock discipline: time enters via `Input::Tick`/sim time, never the ambient clock |
+//! | `A1` | audit coverage: every endpoint `State` field is read by at least one `StateAudit` check |
 //! | `W0` | waiver hygiene: `vsgm-allow`/`vsgm-lock-tier` comments must be well-formed, and every waiver must suppress something |
 //!
 //! Findings carry `file:line`, the rule id, and a fix hint. A finding is
@@ -123,6 +124,9 @@ pub fn analyze_root(root: &Path, selected: Option<&BTreeSet<String>>) -> io::Res
     }
     if enabled("T1") {
         raw.extend(rules::t1(&files));
+    }
+    if enabled("A1") {
+        raw.extend(rules::a1(&files));
     }
 
     // Apply waivers, attributing each suppression to the waiver comment

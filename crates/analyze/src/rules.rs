@@ -1,6 +1,6 @@
 //! The protocol rules: D1 determinism, P1 panic-freedom, I1 IOA
 //! discipline, C1 spec coverage, R1 lock discipline, T1 clock
-//! discipline.
+//! discipline, A1 audit coverage.
 //!
 //! Each rule is phrased over the code mask of [`crate::SourceFile`]s and
 //! produces [`Finding`]s carrying the rule id, `file:line`, a message,
@@ -41,13 +41,14 @@ pub const T1_CRATES: [&str; 11] = [
 ];
 
 /// All rule identifiers the analyzer knows, with one-line descriptions.
-pub const RULES: [(&str, &str); 7] = [
+pub const RULES: [(&str, &str); 8] = [
     ("D1", "determinism: no HashMap/HashSet or ambient time/randomness in protocol crates"),
     ("P1", "panic-freedom: no unwrap/expect/panic!/unreachable!/indexing in protocol code"),
     ("I1", "IOA discipline: precondition/effect pairing and ObsEvent coverage"),
     ("C1", "spec coverage: every spec action exercised by a trace-checker test"),
     ("R1", "lock discipline: lock fields declare a vsgm-lock-tier; no guard held across a blocking call"),
     ("T1", "clock discipline: time enters via Input::Tick/sim time, never the ambient clock"),
+    ("A1", "audit coverage: every endpoint State field read by at least one StateAudit check"),
     ("W0", "waiver hygiene: vsgm-allow/vsgm-lock-tier comments must be well-formed"),
 ];
 
@@ -785,6 +786,121 @@ pub fn c1(files: &[SourceFile]) -> Vec<Finding> {
                 ));
             }
         }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- A1 ---
+
+/// The endpoint state definition A1 audits…
+pub const A1_STATE_FILE: &str = "crates/core/src/state.rs";
+/// …and the `StateAudit` pass that must read every field of it.
+pub const A1_AUDIT_FILE: &str = "crates/core/src/audit.rs";
+
+const A1_HINT: &str = "extend vsgm_core::audit with a legal-state check that reads this \
+     field — corruption of a field the audit never looks at survives every tick \
+     undetected — or waive with `// vsgm-allow(A1): <why corruption here is benign>`";
+
+/// A1 — audit coverage: every field of the endpoint `State` struct
+/// ([`A1_STATE_FILE`]) is referenced by the `StateAudit` pass
+/// ([`A1_AUDIT_FILE`]), non-test code only. The self-stabilization tier
+/// (DESIGN.md §15) claims convergence from *any* corrupted state; a
+/// `State` field the audit never reads is a blind spot that silently
+/// narrows the claim to "converges unless that field is hit", so new
+/// fields are deny-by-default until a check covers them.
+pub fn a1(files: &[SourceFile]) -> Vec<Finding> {
+    let Some(state) = files.iter().find(|f| f.rel == A1_STATE_FILE) else {
+        return Vec::new();
+    };
+    let audited: BTreeSet<String> = files
+        .iter()
+        .find(|f| f.rel == A1_AUDIT_FILE)
+        .map(|audit| {
+            tokens(&audit.scanned.mask)
+                .into_iter()
+                .filter(|t| t.ident && !is_test_at(audit, t.line))
+                .map(|t| t.text)
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut out = Vec::new();
+    for (name, line) in fields_of_struct(state, "State") {
+        if !audited.contains(&name) {
+            out.push(finding(
+                "A1",
+                state,
+                line,
+                format!("State field `{name}` is read by no StateAudit check"),
+                A1_HINT,
+            ));
+        }
+    }
+    out
+}
+
+/// `(field name, line)` pairs of the named struct's fields in the file.
+/// Like [`struct_fields`], but anchored to one struct by name; angle
+/// brackets are depth-tracked so `::` paths and generic arguments in
+/// field types are never mistaken for field names.
+fn fields_of_struct(file: &SourceFile, struct_name: &str) -> Vec<(String, usize)> {
+    let toks = tokens(&file.scanned.mask);
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_start = toks.get(i).is_some_and(|t| t.ident && t.text == "struct")
+            && toks.get(i + 1).is_some_and(|t| t.ident && t.text == struct_name);
+        if is_start {
+            break;
+        }
+        i += 1;
+    }
+    // Skip generics to the body opener, bailing on tuple/unit structs.
+    let mut j = i + 2;
+    let mut angle = 0i64;
+    let mut body = None;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" if angle == 0 => {
+                body = Some(j);
+                break;
+            }
+            ";" | "(" if angle == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(open) = body else {
+        return Vec::new();
+    };
+    // Walk the body at depth 1: a field name is an identifier followed
+    // by a single `:` (two would be a path separator inside a type).
+    let mut out = Vec::new();
+    let mut depth = 1i64;
+    angle = 0;
+    let mut k = open + 1;
+    while let Some(t) = toks.get(k) {
+        match t.text.as_str() {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "<" if depth == 1 => angle += 1,
+            ">" if depth == 1 => angle -= 1,
+            _ => {}
+        }
+        if depth == 1
+            && angle == 0
+            && t.ident
+            && toks.get(k + 1).is_some_and(|n| n.text == ":")
+            && toks.get(k + 2).is_none_or(|n| n.text != ":")
+        {
+            out.push((t.text.clone(), t.line));
+        }
+        k += 1;
     }
     out
 }

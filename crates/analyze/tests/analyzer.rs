@@ -596,7 +596,64 @@ fn real_workspace_waiver_budget_is_pinned() {
         "the per-rule waiver counts moved — audit the new/removed waiver and re-pin"
     );
     assert_eq!(report.waived, 15);
-    // All seven rules are registered (so `--rules R1,T1` is accepted).
+    // All eight rules are registered (so `--rules R1,T1` is accepted).
     let ids: Vec<&str> = vsgm_analyze::rules::RULES.iter().map(|(r, _)| *r).collect();
-    assert_eq!(ids, vec!["D1", "P1", "I1", "C1", "R1", "T1", "W0"]);
+    assert_eq!(ids, vec!["D1", "P1", "I1", "C1", "R1", "T1", "A1", "W0"]);
+}
+
+// ---------------------------------------------------------------- A1 ---
+
+/// A fixture `State` with one audited and one unaudited field, plus an
+/// audit pass that reads only the former.
+fn a1_fixture(name: &str, state_extra: &str) -> PathBuf {
+    fixture(
+        name,
+        &[
+            (
+                "crates/core/src/state.rs",
+                &format!(
+                    "pub struct Other {{ pub ghost_free: u64 }}\n\
+                     pub struct State {{\n\
+                         pub pid: u64,\n\
+                         pub msgs: std::collections::BTreeMap<u64, u64>,\n\
+                         {state_extra}\n\
+                     }}\n"
+                ),
+            ),
+            (
+                "crates/core/src/audit.rs",
+                "pub fn check(st: &crate::state::State) -> bool {\n\
+                     st.pid == 0 && st.msgs.is_empty()\n\
+                 }\n",
+            ),
+        ],
+    )
+}
+
+#[test]
+fn a1_flags_state_fields_the_audit_never_reads() {
+    let root = a1_fixture("a1-blind-spot", "pub ghost: u64,");
+    let only_a1: BTreeSet<String> = ["A1".to_string()].into_iter().collect();
+    let report = analyze_root(&root, Some(&only_a1)).expect("analyze fixture");
+    let hits: Vec<(&str, usize)> =
+        report.findings.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+    // `ghost` (line 5 of state.rs) is unaudited; `pid`/`msgs` are read,
+    // and `ghost_free` belongs to a different struct — not A1's concern.
+    assert_eq!(hits, vec![("A1", 5)], "{:?}", report.findings);
+    let f = report.findings.first().expect("one finding");
+    assert_eq!(f.file, "crates/core/src/state.rs");
+    assert!(f.message.contains("`ghost`"), "{}", f.message);
+}
+
+#[test]
+fn a1_accepts_a_waived_blind_spot() {
+    let root = a1_fixture(
+        "a1-waived",
+        "// vsgm-allow(A1): fixture field, corruption here is benign\n\
+         pub ghost: u64,",
+    );
+    let only_a1: BTreeSet<String> = ["A1".to_string()].into_iter().collect();
+    let report = analyze_root(&root, Some(&only_a1)).expect("analyze fixture");
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.waived, 1);
 }

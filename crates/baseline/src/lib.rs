@@ -496,6 +496,7 @@ mod tests {
                         self.route(from, more);
                     }
                     Effect::SetReliable(_) => {}
+                    Effect::Reconciled => {}
                 }
             }
         }

@@ -3,6 +3,7 @@
 //! ```text
 //! chaos [--seeds N] [--seed X] [--minimize] [--format json|text]
 //!       [--procs MAX] [--steps MAX] [--inject-bug] [--artifacts DIR]
+//!       [--corrupt] [--stabilize-json PATH]
 //! ```
 //!
 //! Each seed deterministically generates a legal random scenario
@@ -12,11 +13,17 @@
 //! reproducer; `--artifacts DIR` writes per-failure JSON artifacts
 //! (seed + scenario + journal). `--inject-bug` suppresses a sync message
 //! in the final view change — a deliberate protocol bug that must be
-//! caught, used to validate the oracle itself. Exit status: 0 iff every
-//! run passed. Same arguments ⇒ byte-identical report.
+//! caught, used to validate the oracle itself. `--corrupt` additionally
+//! injects transient state corruption (DESIGN.md §15); such runs are
+//! judged by split-trace convergence: the deviation window is unjudged
+//! and the post-stabilization suffix must satisfy the full spec suite.
+//! `--stabilize-json PATH` runs a per-corruption-class sweep (EXPERIMENTS
+//! E11) and writes convergence statistics to `PATH`. Exit status: 0 iff
+//! every run passed. Same arguments ⇒ byte-identical report.
 
 use serde::Serialize;
-use vsgm_chaos::{generate, minimize, run_scenario, Artifact, ChaosConfig, RunOptions};
+use vsgm_chaos::{generate, minimize, run_scenario, Artifact, ChaosConfig, CorruptMode, RunOptions};
+use vsgm_core::CorruptionKind;
 use vsgm_harness::Scenario;
 
 #[derive(Serialize)]
@@ -27,6 +34,11 @@ struct Row {
     events: usize,
     recovery_resets: u64,
     injected_drops: u64,
+    corruptions: u64,
+    reconciliations: u64,
+    /// Micros from last injection to the stabilized mark; `-1` when the
+    /// run had no judged corruption.
+    convergence_us: i64,
     result: String,
     detail: Vec<String>,
     minimized_steps: i64,
@@ -40,6 +52,30 @@ struct Report {
     runs: Vec<Row>,
 }
 
+/// One corruption class of the E11 sweep (`BENCH_stabilize.json`).
+#[derive(Serialize)]
+struct StabilizeClass {
+    kind: String,
+    runs: usize,
+    converged: usize,
+    failures: usize,
+    corruptions_total: u64,
+    reconciliations_total: u64,
+    convergence_us_min: i64,
+    convergence_us_p50: i64,
+    convergence_us_mean: i64,
+    convergence_us_max: i64,
+    failing_seeds: Vec<u64>,
+}
+
+#[derive(Serialize)]
+struct StabilizeReport {
+    seeds_per_class: u64,
+    procs: u64,
+    steps: usize,
+    classes: Vec<StabilizeClass>,
+}
+
 struct Args {
     seeds: u64,
     seed: Option<u64>,
@@ -49,12 +85,15 @@ struct Args {
     steps: usize,
     inject_bug: bool,
     artifacts: Option<String>,
+    corrupt: bool,
+    stabilize_json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seeds N] [--seed X] [--minimize] [--format json|text]\n\
-         \x20            [--procs MAX] [--steps MAX] [--inject-bug] [--artifacts DIR]"
+         \x20            [--procs MAX] [--steps MAX] [--inject-bug] [--artifacts DIR]\n\
+         \x20            [--corrupt] [--stabilize-json PATH]"
     );
     std::process::exit(2);
 }
@@ -69,6 +108,8 @@ fn parse_args() -> Args {
         steps: 16,
         inject_bug: false,
         artifacts: None,
+        corrupt: false,
+        stabilize_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,11 +129,77 @@ fn parse_args() -> Args {
             "--steps" => args.steps = value(&mut it).parse().unwrap_or_else(|_| usage()),
             "--inject-bug" => args.inject_bug = true,
             "--artifacts" => args.artifacts = Some(value(&mut it)),
+            "--corrupt" => args.corrupt = true,
+            "--stabilize-json" => args.stabilize_json = Some(value(&mut it)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     args
+}
+
+/// Runs the E11 per-class convergence sweep: `seeds` runs per corruption
+/// kind with the generator pinned to that class, collecting time-to-
+/// converge statistics. Returns the report and the number of failing
+/// runs across all classes.
+fn stabilize_sweep(args: &Args, opts: &RunOptions) -> (StabilizeReport, usize) {
+    let mut classes = Vec::new();
+    let mut failing = 0usize;
+    for kind in CorruptionKind::ALL {
+        let cfg = ChaosConfig {
+            max_procs: args.procs.max(2),
+            max_steps: args.steps,
+            dup: 0.0,
+            corrupt: CorruptMode::Only(kind),
+        };
+        let mut converged = 0usize;
+        let mut corruptions_total = 0u64;
+        let mut reconciliations_total = 0u64;
+        let mut times: Vec<u64> = Vec::new();
+        let mut failing_seeds = Vec::new();
+        for seed in 0..args.seeds {
+            let scenario = generate(seed, &cfg);
+            let outcome = run_scenario(&scenario, opts);
+            corruptions_total += outcome.corruptions;
+            reconciliations_total += outcome.audit_reconciliations;
+            if outcome.failure.is_some() {
+                failing_seeds.push(seed);
+            } else {
+                converged += 1;
+                if let Some(us) = outcome.convergence_us {
+                    times.push(us);
+                }
+            }
+        }
+        failing += failing_seeds.len();
+        times.sort_unstable();
+        let stat = |v: Option<&u64>| v.map(|&x| x as i64).unwrap_or(-1);
+        let mean = if times.is_empty() {
+            -1
+        } else {
+            (times.iter().sum::<u64>() / times.len() as u64) as i64
+        };
+        classes.push(StabilizeClass {
+            kind: kind.name().to_string(),
+            runs: args.seeds as usize,
+            converged,
+            failures: failing_seeds.len(),
+            corruptions_total,
+            reconciliations_total,
+            convergence_us_min: stat(times.first()),
+            convergence_us_p50: stat(times.get(times.len() / 2)),
+            convergence_us_mean: mean,
+            convergence_us_max: stat(times.last()),
+            failing_seeds,
+        });
+    }
+    let report = StabilizeReport {
+        seeds_per_class: args.seeds,
+        procs: args.procs.max(2),
+        steps: args.steps,
+        classes,
+    };
+    (report, failing)
 }
 
 fn main() {
@@ -101,9 +208,36 @@ fn main() {
     // default hook from spraying backtraces over the report.
     std::panic::set_hook(Box::new(|_| {}));
 
-    let cfg = ChaosConfig { max_procs: args.procs.max(2), max_steps: args.steps, dup: 0.0 };
     let opts = RunOptions {
         skip_sync_at_stabilization: if args.inject_bug { Some(0) } else { None },
+    };
+
+    if let Some(path) = &args.stabilize_json {
+        let (report, failing) = stabilize_sweep(&args, &opts);
+        let body = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("chaos: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        for c in &report.classes {
+            println!(
+                "stabilize {:<20} runs={:<4} converged={:<4} p50={}us max={}us failing={:?}",
+                c.kind,
+                c.runs,
+                c.converged,
+                c.convergence_us_p50,
+                c.convergence_us_max,
+                c.failing_seeds
+            );
+        }
+        std::process::exit(if failing > 0 { 1 } else { 0 });
+    }
+
+    let cfg = ChaosConfig {
+        max_procs: args.procs.max(2),
+        max_steps: args.steps,
+        dup: 0.0,
+        corrupt: if args.corrupt { CorruptMode::Any } else { CorruptMode::Off },
     };
     let seeds: Vec<u64> = match args.seed {
         Some(x) => vec![x],
@@ -148,6 +282,9 @@ fn main() {
             events: outcome.events,
             recovery_resets: outcome.recovery_resets,
             injected_drops: outcome.injected_drops,
+            corruptions: outcome.corruptions,
+            reconciliations: outcome.audit_reconciliations,
+            convergence_us: outcome.convergence_us.map(|u| u as i64).unwrap_or(-1),
             result: outcome
                 .failure
                 .as_ref()
@@ -166,14 +303,17 @@ fn main() {
         if !args.json {
             let row = rows.last().expect("just pushed");
             println!(
-                "seed {:>4}: {:<16} n={} steps={:>2} events={:>5} resets={} drops={}",
+                "seed {:>4}: {:<16} n={} steps={:>2} events={:>5} resets={} drops={} corrupt={} heal={} conv_us={}",
                 row.seed,
                 row.result,
                 row.n,
                 row.steps,
                 row.events,
                 row.recovery_resets,
-                row.injected_drops
+                row.injected_drops,
+                row.corruptions,
+                row.reconciliations,
+                row.convergence_us,
             );
             for line in &row.detail {
                 println!("    {line}");

@@ -15,8 +15,34 @@
 //!   process standing is never crashed.
 
 use std::collections::{BTreeMap, BTreeSet};
+use vsgm_core::CorruptionKind;
 use vsgm_harness::{Scenario, Step};
 use vsgm_ioa::SimRng;
+
+/// Whether (and how) generated scenarios inject state corruption — the
+/// self-stabilization chaos tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorruptMode {
+    /// Classic chaos: no state corruption (the default).
+    #[default]
+    Off,
+    /// Corruption steps with seed-drawn kinds (at least one per
+    /// scenario).
+    Any,
+    /// Corruption steps of exactly this kind — the per-class convergence
+    /// sweeps (experiment E11).
+    Only(CorruptionKind),
+}
+
+impl CorruptMode {
+    fn kind(self, rng: &mut SimRng) -> Option<CorruptionKind> {
+        match self {
+            CorruptMode::Off => None,
+            CorruptMode::Any => rng.choose(&CorruptionKind::ALL).copied(),
+            CorruptMode::Only(k) => Some(k),
+        }
+    }
+}
 
 /// Tuning knobs for scenario generation.
 #[derive(Debug, Clone)]
@@ -31,11 +57,15 @@ pub struct ChaosConfig {
     /// positive deliberately exceeds the envelope to prove the oracle
     /// notices (see `vsgm_net::FaultPlan::dup`).
     pub dup: f64,
+    /// State-corruption injection mode. Anything but [`CorruptMode::Off`]
+    /// guarantees at least one corruption step per scenario and switches
+    /// the runner to split-trace convergence judging.
+    pub corrupt: CorruptMode,
 }
 
 impl Default for ChaosConfig {
     fn default() -> Self {
-        ChaosConfig { max_procs: 5, max_steps: 16, dup: 0.0 }
+        ChaosConfig { max_procs: 5, max_steps: 16, dup: 0.0, corrupt: CorruptMode::Off }
     }
 }
 
@@ -81,7 +111,17 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> Scenario {
         let alive: Vec<u64> = (1..=n).filter(|p| !crashed.contains(p)).collect();
         let roll = rng.range(0, 100);
         let step = if roll < 32 {
-            None // plain send (the shared fallback below)
+            // A quarter of the send mass becomes state corruption when
+            // the self-stabilization tier is on (`Off` draws nothing, so
+            // classic generation is byte-identical).
+            let kind = if roll >= 24 { cfg.corrupt.kind(&mut rng) } else { None };
+            match kind {
+                Some(kind) => {
+                    let p = *rng.choose(&alive).unwrap_or(&1);
+                    Some(Step::Corrupt { p, kind })
+                }
+                None => None, // plain send (the shared fallback below)
+            }
         } else if roll < 42 {
             Some(Step::RunFor { ms: rng.range(1, 25) })
         } else if roll < 48 {
@@ -153,6 +193,20 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> Scenario {
         }));
     }
 
+    // The corruption tiers promise at least one injection per scenario;
+    // top up right after the opening reconfiguration (everyone is alive
+    // and holds freshly established view state there).
+    if !steps.iter().any(|s| matches!(s, Step::Corrupt { .. })) {
+        if let Some(kind) = cfg.corrupt.kind(&mut rng) {
+            let p = rng.range(1, n + 1);
+            let at = steps
+                .iter()
+                .position(|s| matches!(s, Step::Reconfigure { .. }))
+                .map_or(steps.len(), |i| i + 1);
+            steps.insert(at, Step::Corrupt { p, kind });
+        }
+    }
+
     Scenario { n: n as usize, seed, steps }
 }
 
@@ -182,7 +236,7 @@ mod tests {
 
     #[test]
     fn generator_covers_the_step_space() {
-        let cfg = ChaosConfig { max_procs: 6, max_steps: 24, dup: 0.0 };
+        let cfg = ChaosConfig { max_procs: 6, max_steps: 24, dup: 0.0, corrupt: CorruptMode::Off };
         let mut kinds: BTreeSet<&'static str> = BTreeSet::new();
         for seed in 0..300 {
             for step in &generate(seed, &cfg).steps {
@@ -199,6 +253,7 @@ mod tests {
                     Step::RunFor { .. } => "run_for",
                     Step::Faults { .. } => "faults",
                     Step::CrashDuringSync { .. } => "crash_during_sync",
+                    Step::Corrupt { .. } => "corrupt",
                 });
             }
         }
@@ -217,6 +272,55 @@ mod tests {
             "crash_during_sync",
         ] {
             assert!(kinds.contains(kind), "generator never produced {kind}");
+        }
+    }
+
+    #[test]
+    fn corrupt_off_never_injects_and_matches_the_classic_stream() {
+        let classic = ChaosConfig::default();
+        for seed in 0..100 {
+            let s = generate(seed, &classic);
+            assert!(
+                !s.steps.iter().any(|st| matches!(st, Step::Corrupt { .. })),
+                "seed {seed} injected corruption with the tier off"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_any_guarantees_an_injection_and_covers_every_kind() {
+        let cfg = ChaosConfig { corrupt: CorruptMode::Any, ..ChaosConfig::default() };
+        let mut kinds: BTreeSet<CorruptionKind> = BTreeSet::new();
+        for seed in 0..200 {
+            let s = generate(seed, &cfg);
+            validate(&s).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let injected: Vec<CorruptionKind> = s
+                .steps
+                .iter()
+                .filter_map(|st| match st {
+                    Step::Corrupt { kind, .. } => Some(*kind),
+                    _ => None,
+                })
+                .collect();
+            assert!(!injected.is_empty(), "seed {seed}: no corruption step");
+            kinds.extend(injected);
+        }
+        for k in CorruptionKind::ALL {
+            assert!(kinds.contains(&k), "Any mode never drew {}", k.name());
+        }
+    }
+
+    #[test]
+    fn corrupt_only_pins_the_kind() {
+        for k in CorruptionKind::ALL {
+            let cfg = ChaosConfig { corrupt: CorruptMode::Only(k), ..ChaosConfig::default() };
+            for seed in 0..20 {
+                for step in &generate(seed, &cfg).steps {
+                    if let Step::Corrupt { kind, .. } = step {
+                        assert_eq!(*kind, k);
+                    }
+                }
+            }
         }
     }
 

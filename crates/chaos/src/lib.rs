@@ -35,6 +35,6 @@ pub mod gen;
 pub mod minimize;
 pub mod run;
 
-pub use gen::{generate, ChaosConfig};
+pub use gen::{generate, ChaosConfig, CorruptMode};
 pub use minimize::{minimize, Minimized};
 pub use run::{batch_for_seed, run_scenario, validate, Artifact, Failure, RunOptions, RunOutcome};

@@ -5,9 +5,14 @@
 //! is preserved:
 //!
 //! 1. **Step removal** — drop contiguous chunks, halving the chunk size
-//!    down to single steps (ddmin-style);
-//! 2. **Fault weakening** — zero each field of every `faults` step;
-//! 3. **Group shrinking** — lower `n` while no step references the
+//!    down to single steps (ddmin-style). Scenarios are heterogeneous —
+//!    corruption, crashes, partitions, faults and workload interleave —
+//!    and removal is kind-agnostic, so a mixed failing script shrinks to
+//!    whichever single steps its failure actually needs;
+//! 2. **Step simplification** — replace a step with a strictly simpler
+//!    equivalent (`crash_during_sync` → plain `crash`);
+//! 3. **Fault weakening** — zero each field of every `faults` step;
+//! 4. **Group shrinking** — lower `n` while no step references the
 //!    removed process.
 //!
 //! Every candidate is first checked with [`validate`] — an illegal
@@ -37,7 +42,8 @@ fn max_proc_referenced(s: &Scenario) -> u64 {
             Step::Send { p, .. }
             | Step::Crash { p }
             | Step::Recover { p }
-            | Step::CrashDuringSync { p } => hi = hi.max(*p),
+            | Step::CrashDuringSync { p }
+            | Step::Corrupt { p, .. } => hi = hi.max(*p),
             Step::Reconfigure { members }
             | Step::StartChange { members }
             | Step::FormView { members } => {
@@ -105,7 +111,23 @@ pub fn minimize(scenario: &Scenario, opts: &RunOptions) -> Option<Minimized> {
             chunk /= 2;
         }
 
-        // 2. Weaken fault fields one at a time.
+        // 2. Simplify steps in place: a timed mid-sync crash that still
+        // reproduces as a plain crash reads much better in a reproducer.
+        for idx in 0..cur.steps.len() {
+            let Some(&Step::CrashDuringSync { p }) = cur.steps.get(idx) else {
+                continue;
+            };
+            let mut cand = cur.clone();
+            if let Some(slot) = cand.steps.get_mut(idx) {
+                *slot = Step::Crash { p };
+            }
+            if reproduces(&cand, &mut tested) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        // Weaken fault fields one at a time.
         for idx in 0..cur.steps.len() {
             let Some(Step::Faults { drop, dup, reorder_ms, burst }) =
                 cur.steps.get(idx).cloned()
@@ -133,7 +155,7 @@ pub fn minimize(scenario: &Scenario, opts: &RunOptions) -> Option<Minimized> {
             }
         }
 
-        // 3. Shrink the group below unreferenced processes.
+        // Shrink the group below unreferenced processes.
         while cur.n as u64 > max_proc_referenced(&cur).max(2) {
             let mut cand = cur.clone();
             cand.n -= 1;
@@ -152,4 +174,65 @@ pub fn minimize(scenario: &Scenario, opts: &RunOptions) -> Option<Minimized> {
 
     let outcome = run_scenario(&cur, opts);
     Some(Minimized { scenario: cur, outcome, tested })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsgm_core::CorruptionKind;
+
+    /// Heterogeneous shrinking: a script mixing state corruption, network
+    /// faults, a mid-sync crash, recovery and workload — failing through
+    /// the deliberately injected sync-suppression bug — must shrink
+    /// across step kinds to a 1-minimal reproducer with the same failure
+    /// signature. Exercises both judging paths: candidates that still
+    /// carry a `corrupt` step run under split-trace convergence judging,
+    /// candidates without one run under the classic online oracle.
+    #[test]
+    fn minimizes_a_mixed_corruption_crash_fault_scenario() {
+        let scenario = Scenario {
+            n: 3,
+            seed: 21,
+            steps: vec![
+                Step::Faults { drop: 0.1, dup: 0.0, reorder_ms: 3, burst: 0.0 },
+                Step::Reconfigure { members: vec![1, 2, 3] },
+                Step::Send { p: 1, msg: "a".into() },
+                Step::Corrupt { p: 2, kind: CorruptionKind::DupMsgId },
+                Step::RunFor { ms: 4 },
+                Step::CrashDuringSync { p: 3 },
+                Step::Send { p: 2, msg: "b".into() },
+                Step::Recover { p: 3 },
+                Step::Run,
+            ],
+        };
+        let opts = RunOptions { skip_sync_at_stabilization: Some(0) };
+        let base = run_scenario(&scenario, &opts);
+        let signature = base.failure.as_ref().expect("injected bug must fire").signature();
+        let m = minimize(&scenario, &opts).expect("a failing scenario minimizes");
+        assert_eq!(
+            m.outcome.failure.as_ref().map(Failure::signature).as_deref(),
+            Some(signature.as_str()),
+            "shrinking wandered to a different failure"
+        );
+        assert!(
+            m.scenario.steps.len() < scenario.steps.len(),
+            "nothing was removed: {:?}",
+            m.scenario.steps
+        );
+        // 1-minimality across step kinds: removing any single surviving
+        // step (corruption or otherwise) must stop reproducing.
+        for i in 0..m.scenario.steps.len() {
+            let mut cand = m.scenario.clone();
+            cand.steps.remove(i);
+            if validate(&cand).is_err() {
+                continue;
+            }
+            let still = run_scenario(&cand, &opts)
+                .failure
+                .as_ref()
+                .map(Failure::signature)
+                .is_some_and(|s| s == signature);
+            assert!(!still, "step {i} of the minimized scenario is removable");
+        }
+    }
 }

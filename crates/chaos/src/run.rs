@@ -24,11 +24,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use vsgm_core::{BatchConfig, Config};
 use vsgm_harness::{apply_step, Scenario, Sim, SimOptions, Step};
-use vsgm_ioa::Violation;
+use vsgm_ioa::{SimTime, Violation};
 use vsgm_net::{FaultPlan, LatencyModel};
 use vsgm_obs::ObsEvent;
 use vsgm_spec::LivenessSpec;
-use vsgm_types::ProcessId;
+use vsgm_types::{AppMsg, ProcessId};
 
 /// Options controlling a chaos run.
 #[derive(Debug, Clone, Default)]
@@ -101,6 +101,13 @@ pub struct RunOutcome {
     pub recovery_resets: u64,
     /// Messages the fault injector dropped.
     pub injected_drops: u64,
+    /// State corruptions actually injected (0 = classic chaos run).
+    pub corruptions: u64,
+    /// Audit-triggered endpoint reconciliations observed in the journal.
+    pub audit_reconciliations: u64,
+    /// Simulated µs from the last injected corruption to the
+    /// post-reconciliation quiescent point (corruption runs only).
+    pub convergence_us: Option<u64>,
     /// `vsgm-obs` journal (JSON lines) — captured only for failing runs.
     pub journal: String,
 }
@@ -197,6 +204,9 @@ pub fn validate(scenario: &Scenario) -> Result<(), String> {
                     pending.remove(&m);
                 }
             }
+            // Corruption of a crashed process is a harness no-op, so any
+            // in-range target is legal.
+            Step::Corrupt { p, .. } => check_p(i, *p)?,
             Step::Heal | Step::Run | Step::RunFor { .. } | Step::Faults { .. } => {}
         }
     }
@@ -237,16 +247,29 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> RunOutcome {
             events: 0,
             recovery_resets: 0,
             injected_drops: 0,
+            corruptions: 0,
+            audit_reconciliations: 0,
+            convergence_us: None,
             journal: String::new(),
         };
     }
+    // Corruption scenarios run the self-stabilization protocol: the
+    // endpoint audit is armed, the *online* checkers are off (the
+    // deviation window between injection and reconciliation is allowed to
+    // break safety), and the verdict comes from split-trace judging
+    // (`vsgm_spec::stabilize`) after the run.
+    let corrupting = scenario.steps.iter().any(|s| matches!(s, Step::Corrupt { .. }));
     let mut sim = Sim::new_paper(
         scenario.n,
-        Config { batch: batch_for_seed(scenario.seed), ..Config::default() },
+        Config {
+            batch: batch_for_seed(scenario.seed),
+            audit: corrupting,
+            ..Config::default()
+        },
         SimOptions {
             seed: scenario.seed,
             latency: LatencyModel::lan(),
-            check: true,
+            check: !corrupting,
             shuffle_polling: true,
         },
     );
@@ -262,12 +285,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> RunOutcome {
             break;
         }
     }
+    let mut convergence_us = None;
+    let mut split_violations: Option<Vec<Violation>> = None;
     if panicked.is_none() {
-        // Deliberate sabotage hook (oracle validation): swallow the n-th
-        // sync message from here on.
-        if let Some(nth) = opts.skip_sync_at_stabilization {
-            sim.suppress_sync(nth);
-        }
         let r = catch_unwind(AssertUnwindSafe(|| {
             // Stabilization: stop injecting, heal, recover everyone, and
             // reconfigure to the full group — from here Property 4.2's
@@ -280,20 +300,77 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> RunOutcome {
                     sim.recover(p);
                 }
             }
+            if corrupting {
+                // Give every damaged endpoint a tick window so the audit
+                // detects and reconciles *before* the verification
+                // reconfigure, then let the reconciliations drain.
+                sim.run_for(SimTime::from_millis(5));
+            }
+            sim.run_to_quiescence();
             let all = sim.all_procs();
+            if corrupting {
+                // Close the deviation window at an *epoch boundary*:
+                // complete a full view change and drain it, so every
+                // cross-window obligation (agreed cuts force delivery of
+                // messages sent during the deviation window) is settled
+                // before the mark and the judged suffix references only
+                // post-mark traffic.
+                sim.reconfigure(&all);
+                sim.run_to_quiescence();
+            }
+            // Convergence point: quiescent, reconciled, re-formed.
+            let stabilized = (sim.trace().len(), sim.now());
+            // Deliberate sabotage hook (oracle validation): swallow the
+            // n-th sync message of the *final* (judged) view change.
+            if let Some(nth) = opts.skip_sync_at_stabilization {
+                sim.suppress_sync(nth);
+            }
             let v = sim.reconfigure(&all);
             sim.run_to_quiescence();
-            sim.add_checker(LivenessSpec::new(v));
+            if corrupting {
+                // Post-convergence probe: one multicast per member must
+                // flow through the reconciled group.
+                for p in all.iter() {
+                    sim.send(*p, AppMsg::from(format!("probe-{p}").as_str()));
+                }
+                sim.run_to_quiescence();
+            } else {
+                sim.add_checker(LivenessSpec::new(v.clone()));
+            }
             sim.assert_paper_invariants();
+            (stabilized, v)
         }));
-        if let Err(p) = r {
-            panicked = Some(panic_text(p));
+        match r {
+            Ok(((stabilized_len, stabilized_at), final_view)) => {
+                if let Some((injection, _)) = sim.corruption_mark() {
+                    let report = vsgm_spec::judge_split(
+                        sim.trace().entries(),
+                        injection,
+                        stabilized_len,
+                        Some(final_view),
+                    );
+                    convergence_us = sim.last_corruption().map(|t| {
+                        stabilized_at.as_micros().saturating_sub(t.as_micros())
+                    });
+                    split_violations = Some(report.violations());
+                } else if corrupting {
+                    // Every corruption step targeted a crashed process
+                    // (no-op): judge the whole trace classically, offline
+                    // (the online checkers were disarmed above).
+                    split_violations =
+                        Some(vsgm_spec::judge_trace(sim.trace().entries(), Some(final_view)));
+                }
+            }
+            Err(p) => panicked = Some(panic_text(p)),
         }
     }
     let failure = match panicked {
         Some(msg) => Some(Failure::Panic(msg)),
         None => {
-            let violations = sim.finish();
+            let violations = match split_violations {
+                Some(vs) => vs,
+                None => sim.finish(),
+            };
             if violations.is_empty() {
                 None
             } else {
@@ -303,14 +380,26 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> RunOutcome {
     };
     let injected_drops = sim.fault_stats().injected_drops;
     let events = sim.trace().len();
-    let (recovery_resets, journal) = match sim.take_obs() {
+    let (recovery_resets, audit_reconciliations, corruptions, journal) = match sim.take_obs() {
         Some(rec) => (
             rec.journal().count(ObsEvent::RecoveryReset),
+            rec.journal().count(ObsEvent::AuditReconciled),
+            rec.journal().count(ObsEvent::CorruptionInjected),
             if failure.is_some() { rec.journal().to_json_lines() } else { String::new() },
         ),
-        None => (0, String::new()),
+        None => (0, 0, 0, String::new()),
     };
-    RunOutcome { seed: scenario.seed, failure, events, recovery_resets, injected_drops, journal }
+    RunOutcome {
+        seed: scenario.seed,
+        failure,
+        events,
+        recovery_resets,
+        injected_drops,
+        corruptions,
+        audit_reconciliations,
+        convergence_us,
+        journal,
+    }
 }
 
 /// Self-contained failure artifact: the seed, the (possibly minimized)

@@ -218,6 +218,63 @@ fn regression_recover_into_cascading_view_change() {
     assert!(out.recovery_resets >= 1, "no RecoveryReset in the journal");
 }
 
+// --- Pinned self-stabilization regression scenarios ----------------------
+//
+// Violation classes found by the corruption-mode chaos sweep (DESIGN.md
+// §15). Each was a real bug in the stabilization machinery — not the
+// protocol — minimized by ddmin, fixed, and pinned here replayable.
+
+#[test]
+fn regression_reconciliation_mid_change_reissues_start_change() {
+    // Sweep seeds 158/165: a member's audit reconciliation between
+    // `start_change` and `form_view` clears its pending slot at the
+    // membership oracle (reconciliation is a §8 crash/recover), and the
+    // scripted `form_view` then panicked "no pending start_change". The
+    // service must instead re-engage the reset member with a fresh
+    // start_change before the view forms (`Sim::form_view`).
+    let s = Scenario {
+        n: 3,
+        seed: 0xC4A0_55,
+        steps: vec![
+            Step::Reconfigure { members: vec![1, 2, 3] },
+            Step::Send { p: 1, msg: "a".into() },
+            Step::StartChange { members: vec![1, 2, 3] },
+            Step::Corrupt { p: 2, kind: vsgm_core::CorruptionKind::ScrambleMembership },
+            Step::RunFor { ms: 3 },
+            Step::FormView { members: vec![1, 2, 3] },
+            Step::Run,
+        ],
+    };
+    let out = run_clean(&s);
+    assert!(out.corruptions >= 1, "no corruption was injected");
+    assert!(out.audit_reconciliations >= 1, "the audit never reconciled p2");
+    assert!(out.convergence_us.is_some(), "corruption runs report convergence time");
+}
+
+#[test]
+fn regression_stalled_change_corruption_judges_the_suffix_cleanly() {
+    // Sweep seed 199 (minimized by ddmin to these four steps): a
+    // scripted change left stalled at the corruption mark forced its
+    // agreed-cut deliveries of deviation-window sends into the judged
+    // suffix, where the fresh checkers had never seen the sends —
+    // spurious WV_RFIFO/VS_RFIFO violations from the judge itself. The
+    // stabilization phase now closes the deviation window at an epoch
+    // boundary (complete reconfigure + quiescence) before the mark.
+    let s = Scenario {
+        n: 2,
+        seed: 199,
+        steps: vec![
+            Step::Reconfigure { members: vec![1, 2] },
+            Step::Corrupt { p: 1, kind: vsgm_core::CorruptionKind::TruncateMsgs },
+            Step::Send { p: 2, msg: "m3".into() },
+            Step::StartChange { members: vec![1, 2] },
+        ],
+    };
+    let out = run_clean(&s);
+    assert_eq!(out.corruptions, 1);
+    assert!(out.convergence_us.is_some(), "split-trace judging must engage");
+}
+
 #[test]
 fn regression_partition_heal_churn() {
     // Concurrent partitions with independent views, lossy reordered

@@ -64,6 +64,12 @@ pub struct Config {
     /// Application-message batching stage (see [`crate::batch`]). The
     /// default is off (per-message sends, the paper's original behavior).
     pub batch: BatchConfig,
+    /// Self-stabilization tier: run the [`crate::audit`] legal-state
+    /// predicate on every clock tick and, on failure, reconcile through
+    /// the §8 crash/recovery path ([`crate::Effect::Reconciled`]). Off by
+    /// default — legal executions never trip the audit, but the scan
+    /// itself is not free on the hot path.
+    pub audit: bool,
 }
 
 impl Default for Config {
@@ -76,6 +82,7 @@ impl Default for Config {
             aggregation: false,
             gc_old_views: true,
             batch: BatchConfig::off(),
+            audit: false,
         }
     }
 }

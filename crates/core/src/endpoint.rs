@@ -74,6 +74,13 @@ pub enum Effect {
     /// `co_rfifo.reliable_p(set)`: reconfigure the transport's reliable
     /// connections.
     SetReliable(ProcSet),
+    /// Self-stabilization ([`Config::audit`]): the tick-cadence
+    /// [`crate::audit`] pass found the local state illegal and the
+    /// end-point reset itself through the §8 recovery path. The driver
+    /// should treat this exactly like an observed crash+recover pair —
+    /// tear down the end-point's channels and re-admit it through the
+    /// membership service.
+    Reconciled,
 }
 
 /// A locally controlled action, in canonical firing order.
@@ -321,6 +328,9 @@ impl Endpoint {
             Input::Recover => Vec::new(), // not crashed: no-op
             Input::Tick(us) => {
                 self.st.now_us = self.st.now_us.max(us);
+                if self.cfg.audit && crate::audit::check(&self.cfg, &self.st).is_err() {
+                    return self.reconcile(rec);
+                }
                 Vec::new()
             }
         }
@@ -330,6 +340,28 @@ impl Endpoint {
     /// span key under which observability events are journaled.
     fn current_cid(&self) -> Option<StartChangeId> {
         self.st.start_change.as_ref().map(|(cid, _)| *cid)
+    }
+
+    /// Damages the protocol state with one [`crate::corrupt`] mutator —
+    /// the fault-injection hook of the self-stabilization tier. Test
+    /// drivers only; nothing in the protocol calls this.
+    pub fn corrupt(&mut self, kind: crate::corrupt::CorruptionKind, salt: u64) {
+        crate::corrupt::apply(&mut self.st, kind, salt);
+    }
+
+    /// The §8 self-reset taken when the tick-cadence audit finds the
+    /// state illegal: journal the detection, wipe the volatile state
+    /// exactly as a crash+recover pair would, and tell the driver via
+    /// [`Effect::Reconciled`]. (Drivers wanting the specific failed
+    /// check re-run [`crate::audit::check`] before feeding the tick.)
+    fn reconcile(&mut self, rec: &mut dyn Recorder) -> Vec<Effect> {
+        rec.counter(names::EP_AUDIT_FAILURES, 1);
+        rec.event(self.st.pid, self.current_cid(), ObsEvent::AuditFailed);
+        self.st.reset();
+        self.stats = EndpointStats::default();
+        rec.counter(names::EP_AUDIT_RECONCILES, 1);
+        rec.event(self.st.pid, None, ObsEvent::AuditReconciled);
+        vec![Effect::Reconciled]
     }
 
     fn handle_net(&mut self, from: ProcessId, msg: NetMsg, rec: &mut dyn Recorder) -> Vec<Effect> {
@@ -865,6 +897,7 @@ mod tests {
                         self.route(from, more);
                     }
                     Effect::SetReliable(_) => {}
+                    Effect::Reconciled => {}
                 }
             }
         }
@@ -1189,7 +1222,7 @@ mod tests {
 
     #[test]
     fn batch_flush_is_journalled_with_cause_and_size() {
-        use vsgm_obs::{ObsRecorder, Recorder};
+        use vsgm_obs::ObsRecorder;
         let mut ep = Endpoint::new(p(1), batched_cfg(2, 1_000_000));
         let mut rec = ObsRecorder::new();
         ep.handle_rec(Input::AppSend(AppMsg::from("a")), &mut rec);
@@ -1261,6 +1294,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn audit_tick_reconciles_a_corrupted_endpoint() {
+        use crate::corrupt::CorruptionKind;
+        use vsgm_obs::{ObsRecorder, Recorder};
+        let cfg = Config { audit: true, ..Config::default() };
+        let mut net = Net::new(&[1, 2], cfg);
+        net.reconfigure(&[1, 2], 1, 1);
+        let ep = net.eps.get_mut(&p(1)).unwrap();
+        ep.corrupt(CorruptionKind::ScrambleMembership, 0);
+        let mut rec = ObsRecorder::new();
+        let effects = ep.handle_rec(Input::Tick(1), &mut rec);
+        assert_eq!(effects, vec![Effect::Reconciled]);
+        // Reset to the initial state, §8-style.
+        assert_eq!(ep.current_view(), &View::initial(p(1)));
+        assert_eq!(ep.stats(), EndpointStats::default());
+        let reg = rec.registry();
+        assert_eq!(reg.counter(names::EP_AUDIT_FAILURES), 1);
+        assert_eq!(reg.counter(names::EP_AUDIT_RECONCILES), 1);
+        assert_eq!(rec.journal().count(ObsEvent::AuditFailed), 1);
+        assert_eq!(rec.journal().count(ObsEvent::AuditReconciled), 1);
+        // The next tick finds the fresh state legal: no further resets.
+        assert!(ep.handle(Input::Tick(2)).is_empty());
+    }
+
+    #[test]
+    fn audit_off_ticks_never_reconcile() {
+        use crate::corrupt::CorruptionKind;
+        let mut net = Net::new(&[1, 2], Config::default());
+        let v = net.reconfigure(&[1, 2], 1, 1);
+        let ep = net.eps.get_mut(&p(1)).unwrap();
+        ep.corrupt(CorruptionKind::FutureViewId, 0);
+        assert!(ep.handle(Input::Tick(1)).is_empty());
+        // The damage is still there — nothing noticed it.
+        assert!(ep.current_view().id() > v.id());
     }
 
     #[test]

@@ -46,8 +46,10 @@
 #![warn(missing_docs)]
 
 pub mod aggregation;
+pub mod audit;
 pub mod batch;
 pub mod client;
+pub mod corrupt;
 pub mod invariants;
 pub mod config;
 pub mod endpoint;
@@ -58,8 +60,10 @@ pub mod state;
 pub mod vs;
 pub mod wv;
 
+pub use audit::AuditFailure;
 pub use batch::{BatchConfig, FlushCause};
 pub use client::BlockingClient;
+pub use corrupt::CorruptionKind;
 pub use config::{Config, Stack};
 pub use endpoint::{Action, Effect, Endpoint, EndpointStats, GroupEndpoint, Input};
 pub use forward::{ForwardCmd, ForwardStrategyKind};

@@ -202,6 +202,11 @@ impl<T: Transport> Node<T> {
                         out.push(AppEvent::BlockRequested);
                     }
                 }
+                // Audit-driven self-reset (never fires here: nodes run
+                // with the audit off unless a deployment opts in, and a
+                // legal-state endpoint never trips it). The transport
+                // reconnects lazily, so no teardown is needed.
+                Effect::Reconciled => {}
             }
         }
         Ok(out)

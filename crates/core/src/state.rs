@@ -54,6 +54,14 @@ impl MsgSeq {
             .rposition(Option::is_some)
             .map_or(0, |i| (i + 1) as MsgIndex)
     }
+
+    /// Discards every slot above 1-based index `keep` (so `get(i)` is
+    /// `None` for all `i > keep`). Used only by the corruption fault
+    /// injector ([`crate::corrupt`]) — no legal transition shrinks a
+    /// buffer.
+    pub fn truncate(&mut self, keep: MsgIndex) {
+        self.slots.truncate(keep as usize);
+    }
 }
 
 /// A stored synchronization message (one `sync_msg[q][cid]` cell of

@@ -8,7 +8,9 @@
 use vsgm_explore::{explore, ExploreConfig, ExploreOptions};
 
 fn usage() -> ! {
-    eprintln!("usage: explore [--config canonical|aggregation|crash-recovery] [--no-dpor] [--format json]");
+    eprintln!(
+        "usage: explore [--config canonical|aggregation|crash-recovery|corruption] [--no-dpor] [--format json]"
+    );
     std::process::exit(2);
 }
 

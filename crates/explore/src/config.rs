@@ -25,6 +25,12 @@ pub enum ExtKind {
     Crash,
     /// `recover_p()` (§8): restart with initial state, same identity.
     Recover,
+    /// A transient state-corruption fault (DESIGN.md §15): mutate the
+    /// endpoint's protocol state in place. The explorer runs the
+    /// tick-cadence `StateAudit` atomically with the injection, so each
+    /// path sees either a no-op or a legal §8 crash/recover pair — the
+    /// deviation window never leaks into a judged trace.
+    Corrupt(vsgm_core::CorruptionKind),
 }
 
 /// One scripted external event, with its happens-before prerequisites.
@@ -233,12 +239,54 @@ impl ExploreConfig {
         }
     }
 
+    /// Self-stabilization (DESIGN.md §15): from view `{1,2,3}` with a
+    /// multicast from `p3` still in flight, the survivors' change to
+    /// `{1,2}` races a membership-scrambling corruption at `p3`. Audits
+    /// are armed, so whenever the fault fires the endpoint must detect
+    /// and reconcile through §8 — the checkers see a crash/recover pair
+    /// at an arbitrary position in the change, the reconciliation's
+    /// channel wipe races the delivery of `p3`'s last message, and the
+    /// survivors must still install the final view on every path. `p3`
+    /// is deliberately *outside* the final view: its reconciliation
+    /// resets any installed state, so keeping it out of the liveness
+    /// obligation separates "converged to a legal state" from "happened
+    /// to rejoin", which the chaos tier covers with its post-fault
+    /// reconfigure instead.
+    pub fn corruption() -> ExploreConfig {
+        let (setup, _) = initial_view_setup(1, 1, &[1, 2, 3]);
+        let preload = vec![ExtEvent {
+            p: pid(3),
+            kind: ExtKind::Send(AppMsg::from("m3")),
+            after: vec![],
+        }];
+        let mut events = Vec::new();
+        let mut chain = std::collections::BTreeMap::new();
+        events.push(ExtEvent {
+            p: pid(3),
+            kind: ExtKind::Corrupt(vsgm_core::CorruptionKind::ScrambleMembership),
+            after: vec![],
+        });
+        chain.insert(pid(3), events.len() - 1);
+        let final_view = push_change(&mut events, &mut chain, 2, 2, &[1, 2], false);
+        ExploreConfig {
+            name: "corruption".to_string(),
+            n: 3,
+            endpoint: vsgm_core::Config { audit: true, ..vsgm_core::Config::default() },
+            setup,
+            preload,
+            events,
+            final_view: Some(final_view),
+            max_depth: 2_000,
+        }
+    }
+
     /// All seed configurations, in the order the smoke stage runs them.
     pub fn seeds() -> Vec<ExploreConfig> {
         vec![
             ExploreConfig::canonical(),
             ExploreConfig::aggregation(),
             ExploreConfig::crash_recovery(),
+            ExploreConfig::corruption(),
         ]
     }
 }

@@ -50,9 +50,9 @@ pub enum Transition {
         /// The process the event executes at (denormalized from the
         /// configuration so the dependence relation needs no lookup).
         p: ProcessId,
-        /// Whether this is a crash/recovery — global transitions that
-        /// commute with nothing (they wipe channels and re-gate
-        /// every other transition's enabledness).
+        /// Whether this is a crash/recovery/corruption — global
+        /// transitions that commute with nothing (they can wipe channels
+        /// and re-gate every other transition's enabledness).
         global: bool,
     },
 }
@@ -68,7 +68,8 @@ impl Transition {
         }
     }
 
-    /// Whether the transition touches global state (crash/recovery).
+    /// Whether the transition touches global state (crash, recovery, or
+    /// state corruption — whose reconciliation acts like both).
     pub fn is_global(&self) -> bool {
         matches!(self, Transition::External { global: true, .. })
     }
@@ -197,10 +198,16 @@ impl<'a> Machine<'a> {
                 ExtKind::Send(_) => !st.blocked.contains(&ev.p),
                 ExtKind::Crash => !st.crashed.contains(&ev.p),
                 ExtKind::Recover => st.crashed.contains(&ev.p),
+                // A transient fault strikes live state only; a crashed
+                // endpoint has nothing to corrupt (§8 wipes it anyway).
+                ExtKind::Corrupt(_) => !st.crashed.contains(&ev.p),
                 ExtKind::StartChange { .. } | ExtKind::View(_) => true,
             };
             if ready {
-                let global = matches!(ev.kind, ExtKind::Crash | ExtKind::Recover);
+                let global = matches!(
+                    ev.kind,
+                    ExtKind::Crash | ExtKind::Recover | ExtKind::Corrupt(_)
+                );
                 out.push(Transition::External { index: i, p: ev.p, global });
             }
         }
@@ -307,6 +314,36 @@ impl<'a> Machine<'a> {
                 let effects = st.eps.get_mut(&p).expect("known proc").handle(Input::Recover);
                 self.route(st, p, effects);
             }
+            ExtKind::Corrupt(kind) => {
+                if st.crashed.contains(&p) {
+                    return; // nothing live to corrupt
+                }
+                // Macro-step: inject the mutation and immediately run the
+                // tick-cadence StateAudit (the salt is fixed so the
+                // mutation is deterministic across replays). A detected
+                // corruption reconciles through the §8 path, which the
+                // checkers observe as a crash/recover pair; the deviation
+                // window is a single atomic transition, so no corrupted
+                // state ever acts on a judged trace.
+                let ep = st.eps.get_mut(&p).expect("known proc");
+                ep.corrupt(*kind, 7);
+                let effects = ep.handle(Input::Tick(0));
+                if effects.iter().any(|e| matches!(e, Effect::Reconciled)) {
+                    self.trace.push(Event::Crash { p });
+                    // §8: reconciliation wipes the channels, both ways.
+                    for ((from, to), chan) in st.channels.iter_mut() {
+                        if *from == p || *to == p {
+                            chan.clear();
+                        }
+                    }
+                    st.blocked.remove(&p);
+                    self.trace.push(Event::Recover { p });
+                } else {
+                    // The mutation landed on state the audit accepts
+                    // (a no-op under this salt): route normally.
+                    self.route(st, p, effects);
+                }
+            }
         }
     }
 
@@ -329,6 +366,10 @@ impl<'a> Machine<'a> {
                     self.trace.push(Event::GcsView { p: from, view, transitional });
                     st.blocked.remove(&from);
                 }
+                // Reconciliation is consumed by the `Corrupt` macro-step
+                // above (audits only run there — endpoints never tick on
+                // other explored transitions), so nothing reaches here.
+                Effect::Reconciled => {}
                 Effect::Block => {
                     // The Fig. 12 client acknowledges immediately; the
                     // explorer then gates scripted sends until the view.

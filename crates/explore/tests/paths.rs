@@ -66,6 +66,23 @@ fn crash_recovery_counts_are_pinned() {
     );
 }
 
+#[test]
+fn corruption_counts_are_pinned_and_every_path_converges() {
+    // Self-stabilization under exhaustive scheduling (DESIGN.md §15):
+    // the membership-scrambling fault at p3 fires at every possible
+    // position relative to the survivors' view change and the delivery
+    // of p3's in-flight multicast. On every path the armed audit must
+    // detect it, the §8 reconciliation must render as a legal
+    // crash/recover pair, and the survivors must still install the
+    // final view — zero violating paths *is* the convergence claim.
+    let outcome = explore(&ExploreConfig::corruption(), &dpor());
+    assert!(outcome.is_clean(), "{:?}", outcome.counterexample);
+    assert_eq!(
+        outcome.stats,
+        Stats { paths: 144391, pruned: 55923, states: 1386, max_depth: 18, violating_paths: 0 }
+    );
+}
+
 /// A configuration scripted to violate the membership safety spec: after
 /// the initial view installs with start-change id 5, the service hands
 /// `p1` a *non-monotonic* start-change (id 3). Fig. 2 requires strictly

@@ -83,6 +83,16 @@ pub enum Step {
         /// Process number.
         p: u64,
     },
+    /// Corrupt one facet of `p`'s protocol state in place (transient
+    /// fault injection for the self-stabilization tier). The damage is
+    /// detected by the endpoint's `StateAudit` pass on its next tick and
+    /// reconciled via the §8 recovery path.
+    Corrupt {
+        /// Process number.
+        p: u64,
+        /// Which facet of the state to corrupt.
+        kind: vsgm_core::CorruptionKind,
+    },
 }
 
 /// A complete scenario: the group size and the script.
@@ -143,6 +153,7 @@ pub fn apply_step(sim: &mut Sim<vsgm_core::Endpoint>, step: &Step) {
             burst_len: 0,
         }),
         Step::CrashDuringSync { p } => sim.crash_during_sync(ProcessId::new(*p)),
+        Step::Corrupt { p, kind } => sim.corrupt(ProcessId::new(*p), *kind),
     }
 }
 
@@ -276,6 +287,7 @@ mod tests {
                 Step::Send { p: 1, msg: "x".into() },
                 Step::RunFor { ms: 20 },
                 Step::CrashDuringSync { p: 2 },
+                Step::Corrupt { p: 1, kind: vsgm_core::CorruptionKind::ScrambleMembership },
                 Step::Run,
             ],
         };

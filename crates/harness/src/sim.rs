@@ -5,7 +5,7 @@ use vsgm_core::{BlockingClient, Config, Effect, Endpoint, GroupEndpoint, Input};
 use vsgm_ioa::{CheckSet, SimRng, SimTime, Trace, Violation};
 use vsgm_membership::MembershipOracle;
 use vsgm_net::{FaultPlan, FaultStats, LatencyModel, SimNet};
-use vsgm_obs::{NoopRecorder, ObsEvent, ObsRecorder, Recorder};
+use vsgm_obs::{names as obs_names, NoopRecorder, ObsEvent, ObsRecorder, Recorder};
 use vsgm_types::{AppMsg, Event, NetMsg, ProcSet, ProcessId, View};
 
 /// Simulation options.
@@ -67,6 +67,12 @@ pub struct Sim<E: GroupEndpoint = Endpoint> {
     suppress_sync: Option<u64>,
     /// Sync/sync-agg sends seen so far (drives `suppress_sync`).
     sync_seen: u64,
+    /// Trace position and time of the **first** state corruption injected
+    /// with [`Sim::corrupt`] — where pre-fault safety judging ends.
+    corruption_mark: Option<(usize, SimTime)>,
+    /// Time of the **latest** corruption — the origin for measuring
+    /// convergence time.
+    last_corruption: Option<SimTime>,
 }
 
 /// Selects the active recorder without borrowing the whole `Sim` (so the
@@ -104,10 +110,52 @@ impl Sim<Endpoint> {
     /// Panics with the violated invariant's name and details.
     #[track_caller]
     pub fn assert_paper_invariants(&self) {
+        // After a deliberate state corruption the invariants are *meant*
+        // to be broken until the audit reconciles the damaged end-point;
+        // legality of the post-stabilization suffix is judged by
+        // `vsgm_spec::stabilize` instead.
+        if self.corruption_mark.is_some() {
+            return;
+        }
         let states = self.eps.values().map(|e| e.state());
         if let Err(e) = vsgm_core::invariants::check_all(states) {
             panic!("paper invariant violated: {e}");
         }
+    }
+
+    /// Injects one state-corruption fault into live end-point `p` (the
+    /// self-stabilization chaos tier). The damage salt is drawn from the
+    /// scheduling RNG, so runs stay deterministic per seed. Records the
+    /// trace position and time as the corruption mark (see
+    /// [`Sim::corruption_mark`]) and disables
+    /// [`Sim::assert_paper_invariants`] from here on. No-op on crashed
+    /// end-points (their volatile state is about to vanish anyway).
+    pub fn corrupt(&mut self, p: ProcessId, kind: vsgm_core::CorruptionKind) {
+        if self.eps[&p].is_crashed() {
+            return;
+        }
+        let salt = self.sched_rng.range(0, 1 << 16);
+        self.eps.get_mut(&p).expect("known proc").corrupt(kind, salt);
+        let rec = rec_of(&mut self.obs, &mut self.noop);
+        rec.counter(obs_names::CHAOS_CORRUPTIONS, 1);
+        rec.event(p, None, ObsEvent::CorruptionInjected);
+        if self.corruption_mark.is_none() {
+            self.corruption_mark = Some((self.trace.entries().len(), self.time));
+        }
+        self.last_corruption = Some(self.time);
+    }
+
+    /// Trace position and simulated time of the first [`Sim::corrupt`]
+    /// injection, if any — where the convergence judge's pre-fault prefix
+    /// ends.
+    pub fn corruption_mark(&self) -> Option<(usize, SimTime)> {
+        self.corruption_mark
+    }
+
+    /// Simulated time of the latest [`Sim::corrupt`] injection — the
+    /// origin for time-to-converge measurements.
+    pub fn last_corruption(&self) -> Option<SimTime> {
+        self.last_corruption
     }
 }
 
@@ -149,6 +197,8 @@ impl<E: GroupEndpoint> Sim<E> {
             noop: NoopRecorder,
             suppress_sync: None,
             sync_seen: 0,
+            corruption_mark: None,
+            last_corruption: None,
         }
     }
 
@@ -279,6 +329,17 @@ impl<E: GroupEndpoint> Sim<E> {
 
     /// Forms and delivers the membership view for `members`.
     pub fn form_view(&mut self, members: &ProcSet) -> View {
+        // §8: a member that crashed and recovered (or reconciled after a
+        // detected corruption) since the change began has lost its
+        // start_change, and the oracle cleared its pending slot. The real
+        // service re-engages such a member with a fresh start_change
+        // before the view forms; mirror that here rather than letting the
+        // oracle reject the now-stale script.
+        let missing: ProcSet =
+            members.iter().filter(|m| !self.oracle.change_pending(**m)).copied().collect();
+        if !missing.is_empty() {
+            self.start_change_for(&missing, members);
+        }
         self.proposer_seq += 1;
         let view = self.oracle.form_view(members, self.proposer_seq);
         for m in members {
@@ -625,6 +686,20 @@ impl<E: GroupEndpoint> Sim<E> {
                         self.route(from, more);
                     }
                 }
+                Effect::Reconciled => {
+                    // The end-point already reset itself (§8, audit
+                    // path); mirror the reset as an observed crash +
+                    // instant recover so the trace, network, membership
+                    // oracle and client stay consistent with it. No
+                    // Crash/Recover inputs are fed — the end-point is
+                    // already in its initial state.
+                    self.record(Event::Crash { p: from });
+                    self.net.crash(from);
+                    self.record(Event::Recover { p: from });
+                    self.net.recover(from);
+                    self.oracle.recover(from);
+                    self.clients.insert(from, BlockingClient::new());
+                }
             }
         }
     }
@@ -696,6 +771,23 @@ mod tests {
         let counts = sim.trace().kind_counts();
         assert_eq!(counts["deliver"], 9, "{counts:?}");
         assert_eq!(counts["view"], 3);
+    }
+
+    #[test]
+    fn corruption_injection_is_journalled_and_marked() {
+        let cfg = Config { audit: true, ..Config::default() };
+        let mut sim = Sim::new_paper(2, cfg, SimOptions::default());
+        sim.enable_obs();
+        sim.reconfigure(&procs(2));
+        sim.run_to_quiescence();
+        assert!(sim.corruption_mark().is_none());
+        sim.corrupt(ProcessId::new(2), vsgm_core::CorruptionKind::ScrambleMembership);
+        let rec = sim.obs().expect("obs enabled");
+        assert_eq!(rec.journal().count(ObsEvent::CorruptionInjected), 1);
+        assert_eq!(rec.registry().counter(obs_names::CHAOS_CORRUPTIONS), 1);
+        let (at, when) = sim.corruption_mark().expect("mark set at injection");
+        assert_eq!(at, sim.trace().entries().len());
+        assert_eq!(Some(when), sim.last_corruption());
     }
 
     #[test]

@@ -45,11 +45,19 @@ pub enum ObsEvent {
     BatchFlushed,
     /// A specification or proof invariant was observed violated.
     InvariantViolated,
+    /// A state-corruption fault was injected into a live end-point (the
+    /// self-stabilization chaos tier).
+    CorruptionInjected,
+    /// The tick-cadence `StateAudit` found the local state illegal.
+    AuditFailed,
+    /// The end-point reconciled: audit failure routed through the §8
+    /// reset, volatile state wiped.
+    AuditReconciled,
 }
 
 impl ObsEvent {
     /// Every event kind, in declaration order (for table exporters).
-    pub const ALL: [ObsEvent; 13] = [
+    pub const ALL: [ObsEvent; 16] = [
         ObsEvent::StartChangeRecv,
         ObsEvent::SyncSent,
         ObsEvent::SyncRecv,
@@ -63,6 +71,9 @@ impl ObsEvent {
         ObsEvent::RecoveryReset,
         ObsEvent::BatchFlushed,
         ObsEvent::InvariantViolated,
+        ObsEvent::CorruptionInjected,
+        ObsEvent::AuditFailed,
+        ObsEvent::AuditReconciled,
     ];
 
     /// Stable snake_case name (used in JSON exports).
@@ -81,6 +92,9 @@ impl ObsEvent {
             ObsEvent::RecoveryReset => "recovery_reset",
             ObsEvent::BatchFlushed => "batch_flushed",
             ObsEvent::InvariantViolated => "invariant_violated",
+            ObsEvent::CorruptionInjected => "corruption_injected",
+            ObsEvent::AuditFailed => "audit_failed",
+            ObsEvent::AuditReconciled => "audit_reconciled",
         }
     }
 
@@ -100,6 +114,9 @@ impl ObsEvent {
             ObsEvent::RecoveryReset => "obs.recovery_reset",
             ObsEvent::BatchFlushed => "obs.batch_flushed",
             ObsEvent::InvariantViolated => "obs.invariant_violated",
+            ObsEvent::CorruptionInjected => "obs.corruption_injected",
+            ObsEvent::AuditFailed => "obs.audit_failed",
+            ObsEvent::AuditReconciled => "obs.audit_reconciled",
         }
     }
 }

@@ -154,7 +154,10 @@ impl Recorder for ObsRecorder {
                 | ObsEvent::MsgDelivered
                 | ObsEvent::RecoveryReset
                 | ObsEvent::BatchFlushed
-                | ObsEvent::InvariantViolated => {
+                | ObsEvent::InvariantViolated
+                | ObsEvent::CorruptionInjected
+                | ObsEvent::AuditFailed
+                | ObsEvent::AuditReconciled => {
                     self.open_spans.entry((pid, c)).or_insert(self.now);
                 }
             }

@@ -259,6 +259,13 @@ pub mod names {
     pub const MBRSHP_VIEWS_FORMED: &str = "mbrshp.views_formed";
     /// `start_change` notifications issued by membership servers.
     pub const MBRSHP_START_CHANGES: &str = "mbrshp.start_changes_sent";
+    /// Tick-cadence `StateAudit` failures detected (self-stabilization
+    /// tier).
+    pub const EP_AUDIT_FAILURES: &str = "endpoint.audit_failures";
+    /// §8 self-resets taken after an audit failure.
+    pub const EP_AUDIT_RECONCILES: &str = "endpoint.audit_reconciliations";
+    /// State-corruption faults injected by the chaos harness.
+    pub const CHAOS_CORRUPTIONS: &str = "chaos.corruption_injected";
 }
 
 #[cfg(test)]

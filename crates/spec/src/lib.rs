@@ -33,6 +33,7 @@ pub mod co_rfifo;
 pub mod liveness;
 pub mod mbrshp;
 pub mod self_delivery;
+pub mod stabilize;
 pub mod trans_set;
 pub mod vs_rfifo;
 pub mod wv_rfifo;
@@ -42,6 +43,7 @@ pub use co_rfifo::CoRfifoSpec;
 pub use liveness::LivenessSpec;
 pub use mbrshp::MbrshpSpec;
 pub use self_delivery::SelfDeliverySpec;
+pub use stabilize::{judge_split, judge_suffix, ConvergenceReport};
 pub use trans_set::TransSetSpec;
 pub use vs_rfifo::VsRfifoSpec;
 pub use wv_rfifo::WvRfifoSpec;

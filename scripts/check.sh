@@ -26,12 +26,12 @@ cargo clippy --workspace "${CARGO_FLAGS[@]}" -- -D warnings
 echo "==> vsgm-analyze --format json"
 cargo run -q -p vsgm-analyze "${CARGO_FLAGS[@]}" -- --format json
 
-# Explore smoke: exhaustively enumerate every interleaving of the three
+# Explore smoke: exhaustively enumerate every interleaving of the four
 # seed configurations (DPOR-pruned) and judge each path with the full
 # checker suite. Exit 1 carries a replayable counterexample schedule.
 # The same counts are pinned as regressions in crates/explore/tests.
 echo "==> vsgm-explore seeds"
-for cfg in canonical aggregation crash-recovery; do
+for cfg in canonical aggregation crash-recovery corruption; do
     cargo run -q --release -p vsgm-explore --bin explore "${CARGO_FLAGS[@]}" -- \
         --config "$cfg" --format json
 done
@@ -88,5 +88,19 @@ cargo test -q -p vsgm-integration --test batching_differential "${CARGO_FLAGS[@]
 # rerun with `--seed <n> --minimize` to shrink it.
 echo "==> chaos --seeds 100"
 cargo run -q --release -p vsgm-chaos --bin chaos "${CARGO_FLAGS[@]}" -- --seeds 100 --format json >/dev/null
+
+# Stabilization smoke (DESIGN.md §15, EXPERIMENTS.md E11): the same seed
+# batch with state-corruption faults mixed in — every run must converge
+# back to a legal state (audit-detected §8 reconciliation, clean judged
+# suffix) — then the per-corruption-class convergence sweep, which emits
+# BENCH_stabilize.json at the repo root. An empty or missing file, or any
+# non-converging seed, fails the gate; rerun a failure with
+# `--seed <n> --corrupt --minimize` to shrink it.
+echo "==> stabilization smoke (BENCH_stabilize.json)"
+cargo run -q --release -p vsgm-chaos --bin chaos "${CARGO_FLAGS[@]}" -- \
+    --seeds 100 --corrupt --format json >/dev/null
+cargo run -q --release -p vsgm-chaos --bin chaos "${CARGO_FLAGS[@]}" -- \
+    --seeds 25 --stabilize-json "$PWD/BENCH_stabilize.json" >/dev/null
+test -s BENCH_stabilize.json
 
 echo "==> all checks passed"

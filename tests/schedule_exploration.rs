@@ -59,6 +59,8 @@ impl Composition {
                     let more = self.eps.get_mut(&from).unwrap().handle(Input::BlockOk);
                     self.route(from, more);
                 }
+                // Audit is off in these compositions; never fires.
+                Effect::Reconciled => {}
             }
         }
     }
