@@ -31,6 +31,12 @@ pub const I1_CRATES: [&str; 2] = ["core", "spec"];
 /// Crates whose threaded code is held to the lock discipline (R1): the
 /// real-transport layer, the only place the workspace takes locks.
 pub const R1_CRATES: [&str; 1] = ["net"];
+/// Files pinned under R1 *by path*, independent of [`R1_CRATES`]: the
+/// event-loop transport core, where a guard held across a blocking call
+/// stalls every connection the loop owns — not just one peer. A future
+/// edit to the crate list cannot silently drop these.
+pub const R1_FILES: [&str; 3] =
+    ["crates/net/src/tcp.rs", "crates/net/src/evloop.rs", "crates/net/src/writer.rs"];
 /// Crates that must route all time through explicit inputs
 /// (`Input::Tick` / `vsgm-ioa` sim time) rather than the ambient clock
 /// (T1): everything except the real-transport layer (`net`, which
@@ -218,7 +224,10 @@ const R1_BLOCKING: [&str; 9] = [
 /// blocking call.
 pub fn r1(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
-    for f in files.iter().filter(|f| in_crate_src(f, &R1_CRATES)) {
+    for f in files.iter().filter(|f| {
+        in_crate_src(f, &R1_CRATES)
+            || (f.kind == FileKind::Src && R1_FILES.contains(&f.rel.as_str()))
+    }) {
         out.extend(r1_fields(f));
         out.extend(r1_guards(f));
     }

@@ -473,6 +473,37 @@ fn r1_only_covers_the_net_crate() {
 }
 
 #[test]
+fn r1_pins_the_event_loop_transport_modules_by_path() {
+    // The event-loop core is pinned by file path, not just by crate: a
+    // guard held across a blocking call there stalls every connection
+    // the loop owns, so a future reorganization of R1_CRATES must not
+    // silently drop these files.
+    for pinned in
+        ["crates/net/src/tcp.rs", "crates/net/src/evloop.rs", "crates/net/src/writer.rs"]
+    {
+        assert!(
+            vsgm_analyze::rules::R1_FILES.contains(&pinned),
+            "{pinned} must be pinned in R1_FILES: {:?}",
+            vsgm_analyze::rules::R1_FILES
+        );
+    }
+    // And the pin actually maps through to findings.
+    let root = fixture(
+        "r1-evloop-file",
+        &[(
+            "crates/net/src/evloop.rs",
+            "pub struct L { inbox: std::sync::Mutex<Vec<u8>> }\n",
+        )],
+    );
+    let report = analyze_root(&root, None).expect("analyze fixture");
+    assert!(
+        report.findings.iter().any(|f| f.rule == "R1" && f.file.ends_with("evloop.rs")),
+        "a tierless lock field in evloop.rs must be R1-covered: {:?}",
+        report.findings
+    );
+}
+
+#[test]
 fn malformed_tier_declarations_are_reported_as_w0() {
     let root = fixture(
         "r1-bad-tier",
@@ -592,10 +623,10 @@ fn real_workspace_waiver_budget_is_pinned() {
         report.waived_by_rule.iter().map(|(r, n)| (r.as_str(), *n)).collect();
     assert_eq!(
         budget,
-        vec![("D1", 3), ("P1", 7), ("R1", 1), ("T1", 4)],
+        vec![("D1", 3), ("P1", 6), ("R1", 1), ("T1", 4)],
         "the per-rule waiver counts moved — audit the new/removed waiver and re-pin"
     );
-    assert_eq!(report.waived, 15);
+    assert_eq!(report.waived, 14);
     // All eight rules are registered (so `--rules R1,T1` is accepted).
     let ids: Vec<&str> = vsgm_analyze::rules::RULES.iter().map(|(r, _)| *r).collect();
     assert_eq!(ids, vec!["D1", "P1", "I1", "C1", "R1", "T1", "A1", "W0"]);

@@ -103,16 +103,87 @@ pub fn encode_frame(msg: &NetMsg, format: WireFormat) -> io::Result<Vec<u8>> {
 /// Decodes a frame body, sniffing the format from its first byte:
 /// [`BINARY_V1`] selects the binary decoder, anything else is handed to
 /// the JSON decoder. Returns `None` for any malformed input.
+///
+/// This is the *owning* convenience path; the transport hot path uses
+/// [`decode_body_ref`] to avoid copying payload bytes out of the read
+/// buffer until a message actually crosses a thread boundary.
 pub fn decode_body(body: &[u8]) -> Option<NetMsg> {
-    match body.split_first() {
-        Some((&BINARY_V1, rest)) => {
-            let mut cur = Cur { b: rest };
-            let msg = dec_msg(&mut cur)?;
-            // Trailing bytes mean a corrupt or misframed body.
-            cur.b.is_empty().then_some(msg)
-        }
+    match body.first() {
+        Some(&BINARY_V1) => Some(decode_body_ref(body)?.into_owned()),
         _ => serde_json::from_slice(body).ok(),
     }
+}
+
+/// A decoded frame body whose bulk payload bytes are still *borrowed*
+/// from the frame buffer.
+///
+/// The payload-carrying variants (`App`, `AppBatch`, `Fwd`) are the hot
+/// path at scale: they borrow their byte slices straight out of the
+/// event loop's pooled read buffer, so validating and routing a frame
+/// allocates nothing. Control-plane messages (views, syncs, baseline
+/// rounds) decode into their owned structured form — they are small,
+/// rare, and built from `BTreeMap`s that own storage anyway.
+///
+/// Call [`BodyRef::into_owned`] exactly once, at the point a message
+/// leaves the read buffer's lifetime (e.g. crossing the delivery
+/// channel); that is the single payload copy on the receive path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyRef<'a> {
+    /// An application payload, borrowed from the frame.
+    App(&'a [u8]),
+    /// A batch of application payloads, each borrowed from the frame.
+    AppBatch(Vec<&'a [u8]>),
+    /// A forwarded copy; the inner payload is borrowed from the frame.
+    Fwd {
+        /// Original sender of the forwarded message.
+        origin: ProcessId,
+        /// View the message was originally sent in.
+        view: View,
+        /// Per-sender FIFO index within that view.
+        index: u64,
+        /// The forwarded payload bytes.
+        msg: &'a [u8],
+    },
+    /// A control-plane message, decoded owned.
+    Owned(NetMsg),
+}
+
+impl BodyRef<'_> {
+    /// Converts into an owned [`NetMsg`], copying any borrowed payload
+    /// slices. This is the single copy of the zero-copy receive path.
+    pub fn into_owned(self) -> NetMsg {
+        match self {
+            BodyRef::App(b) => NetMsg::App(AppMsg::new(b.to_vec())),
+            BodyRef::AppBatch(parts) => {
+                NetMsg::AppBatch(parts.into_iter().map(|b| AppMsg::new(b.to_vec())).collect())
+            }
+            BodyRef::Fwd { origin, view, index, msg } => NetMsg::Fwd(FwdPayload {
+                origin,
+                view,
+                index,
+                msg: AppMsg::new(msg.to_vec()),
+            }),
+            BodyRef::Owned(m) => m,
+        }
+    }
+}
+
+/// Decodes a [`BINARY_V1`] frame body without copying payload bytes:
+/// `App`/`AppBatch`/`Fwd` payloads are returned as slices borrowing from
+/// `body`. Non-binary bodies (JSON interop) are rejected here — callers
+/// that still accept JSON fall back to [`decode_body`] explicitly.
+///
+/// Total like [`decode_body`]: no input panics, over-allocates, or reads
+/// past the frame, and trailing garbage rejects the body.
+pub fn decode_body_ref(body: &[u8]) -> Option<BodyRef<'_>> {
+    let (&first, rest) = body.split_first()?;
+    if first != BINARY_V1 {
+        return None;
+    }
+    let mut cur = Cur { b: rest };
+    let msg = dec_msg_ref(&mut cur)?;
+    // Trailing bytes mean a corrupt or misframed body.
+    cur.b.is_empty().then_some(msg)
 }
 
 // ------------------------------------------------------------ encode ---
@@ -290,9 +361,10 @@ fn dec_cut(cur: &mut Cur<'_>) -> Option<Cut> {
     Some(cut)
 }
 
-fn dec_app(cur: &mut Cur<'_>) -> Option<AppMsg> {
+/// Reads a length-prefixed byte string as a borrowed slice.
+fn dec_app_ref<'a>(cur: &mut Cur<'a>) -> Option<&'a [u8]> {
     let n = cur.count(1)?;
-    Some(AppMsg::new(cur.bytes(n)?.to_vec()))
+    cur.bytes(n)
 }
 
 fn dec_sync(cur: &mut Cur<'_>) -> Option<SyncPayload> {
@@ -306,18 +378,18 @@ fn dec_sync(cur: &mut Cur<'_>) -> Option<SyncPayload> {
     Some(SyncPayload { cid, view, cut })
 }
 
-fn dec_msg(cur: &mut Cur<'_>) -> Option<NetMsg> {
+fn dec_msg_ref<'a>(cur: &mut Cur<'a>) -> Option<BodyRef<'a>> {
     match cur.u8()? {
-        TAG_VIEW_MSG => Some(NetMsg::ViewMsg(dec_view(cur)?)),
-        TAG_APP => Some(NetMsg::App(dec_app(cur)?)),
+        TAG_VIEW_MSG => Some(BodyRef::Owned(NetMsg::ViewMsg(dec_view(cur)?))),
+        TAG_APP => Some(BodyRef::App(dec_app_ref(cur)?)),
         TAG_FWD => {
             let origin = ProcessId::new(cur.u64()?);
             let view = dec_view(cur)?;
             let index = cur.u64()?;
-            let msg = dec_app(cur)?;
-            Some(NetMsg::Fwd(FwdPayload { origin, view, index, msg }))
+            let msg = dec_app_ref(cur)?;
+            Some(BodyRef::Fwd { origin, view, index, msg })
         }
-        TAG_SYNC => Some(NetMsg::Sync(dec_sync(cur)?)),
+        TAG_SYNC => Some(BodyRef::Owned(NetMsg::Sync(dec_sync(cur)?))),
         TAG_SYNC_AGG => {
             let n = cur.count(17)?;
             let mut batch = Vec::with_capacity(n);
@@ -325,16 +397,16 @@ fn dec_msg(cur: &mut Cur<'_>) -> Option<NetMsg> {
                 let p = ProcessId::new(cur.u64()?);
                 batch.push((p, dec_sync(cur)?));
             }
-            Some(NetMsg::SyncAgg(batch))
+            Some(BodyRef::Owned(NetMsg::SyncAgg(batch)))
         }
         TAG_APP_BATCH => {
             // Each entry carries at least its own 4-byte length prefix.
             let n = cur.count(4)?;
             let mut batch = Vec::with_capacity(n);
             for _ in 0..n {
-                batch.push(dec_app(cur)?);
+                batch.push(dec_app_ref(cur)?);
             }
-            Some(NetMsg::AppBatch(batch))
+            Some(BodyRef::AppBatch(batch))
         }
         TAG_BL_PROPOSE => {
             let n = cur.count(8)?;
@@ -343,7 +415,7 @@ fn dec_msg(cur: &mut Cur<'_>) -> Option<NetMsg> {
                 participants.insert(ProcessId::new(cur.u64()?));
             }
             let seq = cur.u64()?;
-            Some(NetMsg::Baseline(BaselineMsg::Propose { participants, seq }))
+            Some(BodyRef::Owned(NetMsg::Baseline(BaselineMsg::Propose { participants, seq })))
         }
         TAG_BL_SYNC => {
             let n = cur.count(8)?;
@@ -354,7 +426,12 @@ fn dec_msg(cur: &mut Cur<'_>) -> Option<NetMsg> {
             let tag = (cur.u64()?, cur.u64()?);
             let view = dec_view(cur)?;
             let cut = dec_cut(cur)?;
-            Some(NetMsg::Baseline(BaselineMsg::Sync { participants, tag, view, cut }))
+            Some(BodyRef::Owned(NetMsg::Baseline(BaselineMsg::Sync {
+                participants,
+                tag,
+                view,
+                cut,
+            })))
         }
         _ => None,
     }
@@ -583,6 +660,82 @@ mod tests {
             // The same soup as a claimed-binary body.
             soup.insert(0, BINARY_V1);
             let _ = decode_body(&soup);
+        }
+    }
+
+    /// The borrowing decoder agrees with the owning one on every valid
+    /// body, and its payload slices really do alias the input buffer
+    /// (zero-copy), not a fresh allocation.
+    #[test]
+    fn ref_decode_agrees_and_borrows_from_the_frame() {
+        for m in sample_msgs() {
+            let body = encode_body(&m, WireFormat::Binary).unwrap();
+            let r = decode_body_ref(&body).expect("valid body");
+            let body_range = body.as_ptr() as usize..body.as_ptr() as usize + body.len();
+            let in_body = |s: &[u8]| s.is_empty() || body_range.contains(&(s.as_ptr() as usize));
+            match &r {
+                BodyRef::App(s) => assert!(in_body(s), "App payload copied"),
+                BodyRef::AppBatch(parts) => {
+                    assert!(parts.iter().all(|s| in_body(s)), "batch payload copied");
+                }
+                BodyRef::Fwd { msg, .. } => assert!(in_body(msg), "Fwd payload copied"),
+                BodyRef::Owned(_) => {}
+            }
+            assert_eq!(r.into_owned(), m);
+        }
+    }
+
+    /// The ref path is binary-only: JSON interop is the caller's
+    /// explicit fallback, never an implicit sniff on the hot path.
+    #[test]
+    fn ref_decode_rejects_non_binary_bodies() {
+        let m = NetMsg::App(AppMsg::from("json"));
+        let json = encode_body(&m, WireFormat::Json).unwrap();
+        assert_eq!(decode_body_ref(&json), None);
+        assert_eq!(decode_body(&json), Some(m));
+        assert_eq!(decode_body_ref(&[]), None);
+        assert_eq!(decode_body_ref(&[0xFE, 0x00]), None);
+    }
+
+    /// Totality of the borrowing decoder over the same hostile corpus as
+    /// [`decoder_is_total_over_malformed_corpus`], and agreement with the
+    /// owning decoder on every verdict for claimed-binary bodies.
+    #[test]
+    fn ref_decoder_is_total_over_malformed_corpus() {
+        for m in sample_msgs() {
+            let body = encode_body(&m, WireFormat::Binary).unwrap();
+            for cut_at in 0..body.len() {
+                let sliced = body.get(..cut_at).unwrap_or(&[]);
+                assert_eq!(
+                    decode_body_ref(sliced).map(BodyRef::into_owned),
+                    if sliced.first() == Some(&BINARY_V1) { decode_body(sliced) } else { None },
+                );
+            }
+            for i in 0..body.len() {
+                let mut mutated = body.clone();
+                if let Some(b) = mutated.get_mut(i) {
+                    *b = b.wrapping_add(1);
+                }
+                let _ = decode_body_ref(&mutated); // any verdict, no panic
+            }
+            let mut padded = body.clone();
+            padded.push(0);
+            assert_eq!(decode_body_ref(&padded), None, "{m:?}");
+        }
+        // Hostile counts reject cheaply on the ref path too.
+        for tag in [TAG_APP, TAG_APP_BATCH, TAG_SYNC_AGG, TAG_FWD] {
+            let mut evil = vec![BINARY_V1, tag];
+            evil.extend_from_slice(&u32::MAX.to_le_bytes());
+            assert_eq!(decode_body_ref(&evil), None);
+        }
+        let mut rng = SimRng::new(0xBEEF);
+        for _ in 0..4_000 {
+            let len = rng.range(0, 96) as usize;
+            let mut soup: Vec<u8> = (0..len).map(|_| rng.range(0, 256) as u8).collect();
+            let _ = decode_body_ref(&soup);
+            soup.insert(0, BINARY_V1);
+            let owned = decode_body_ref(&soup).map(BodyRef::into_owned);
+            assert_eq!(owned, decode_body(&soup), "ref/owned decoders disagree");
         }
     }
 

@@ -8,11 +8,13 @@
 //!   configurable latency ([`latency::LatencyModel`]), partitions, message
 //!   loss outside `reliable_set`s, and crash handling. Used by the
 //!   simulation harness; every run is reproducible from a seed.
-//! * [`tcp::TcpTransport`] — a threaded transport over real TCP sockets
-//!   (length-prefixed frames), for same-host deployments and wall-clock
-//!   benchmarks. TCP provides exactly the per-pair reliable FIFO channel
-//!   semantics the spec requires; the paper's own implementation used the
-//!   analogous datagram service of its reference \[36\].
+//! * [`tcp::TcpTransport`] — an event-loop transport over real TCP
+//!   sockets (length-prefixed frames, a fixed pool of readiness-loop
+//!   threads owning all connections), for same-host deployments and
+//!   wall-clock benchmarks. TCP provides exactly the per-pair reliable
+//!   FIFO channel semantics the spec requires; the paper's own
+//!   implementation used the analogous datagram service of its
+//!   reference \[36\].
 //!
 //! Both are validated against the `CO_RFIFO` spec checker from
 //! `vsgm-spec`.
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub(crate) mod evloop;
 pub mod fault;
 pub mod latency;
 pub mod sim;

@@ -36,6 +36,24 @@ pub struct NetStats {
     /// Enqueues that found a write queue at or above the backpressure
     /// watermark ([`crate::TcpConfig::queue_watermark`]).
     pub backpressure_hits: u64,
+    /// Frames accepted into per-connection write queues (data and
+    /// heartbeats). At quiescence the write path conserves frames:
+    /// `frames_enqueued == frames_flushed + frames_dropped`.
+    pub frames_enqueued: u64,
+    /// Frames discarded without reaching the wire — queue remnants and
+    /// in-flight coalesce buffers of torn-down connections.
+    pub frames_dropped: u64,
+    /// Inbound frames rejected because their length prefix exceeded
+    /// [`crate::TcpConfig::max_frame_len`] (connection torn down).
+    pub oversize_rejected: u64,
+    /// Connections evicted for stalling mid-handshake or mid-frame
+    /// longer than [`crate::TcpConfig::read_idle_timeout`].
+    pub idle_evictions: u64,
+    /// Connections currently owned by the transport's event loops.
+    pub conns_open: u64,
+    /// Event-loop threads multiplexing all of the transport's sockets —
+    /// constant in the connection count.
+    pub loop_threads: u64,
 }
 
 impl NetStats {
@@ -66,6 +84,12 @@ impl NetStats {
             coalesce_max: reg.gauge(vsgm_obs::names::NET_COALESCE_MAX).unwrap_or(0),
             queue_depth_max: reg.gauge(vsgm_obs::names::NET_QUEUE_DEPTH_MAX).unwrap_or(0),
             backpressure_hits: reg.counter(vsgm_obs::names::NET_BACKPRESSURE),
+            frames_enqueued: reg.counter(vsgm_obs::names::NET_FRAMES_ENQUEUED),
+            frames_dropped: reg.counter(vsgm_obs::names::NET_FRAMES_DROPPED),
+            oversize_rejected: reg.counter(vsgm_obs::names::NET_OVERSIZE_REJECTED),
+            idle_evictions: reg.counter(vsgm_obs::names::NET_IDLE_EVICTIONS),
+            conns_open: reg.gauge(vsgm_obs::names::NET_CONNS_OPEN).unwrap_or(0),
+            loop_threads: reg.gauge(vsgm_obs::names::NET_LOOP_THREADS).unwrap_or(0),
         }
     }
 

@@ -1,23 +1,31 @@
-//! A threaded TCP transport: real sockets with the per-pair reliable FIFO
-//! semantics `CO_RFIFO` requires.
+//! An event-loop TCP transport: real sockets with the per-pair reliable
+//! FIFO semantics `CO_RFIFO` requires.
 //!
 //! TCP already provides connection-oriented, gap-free, FIFO byte streams
 //! per direction, which is exactly the channel model of Fig. 3 for peers
 //! in the `reliable_set`. Frames are length-prefixed [`NetMsg`] bodies in
 //! the [`crate::codec`] wire format — compact binary by default, with
-//! transparent JSON interop for rolling transitions. Each direction of a
-//! pair uses its own connection, established lazily on first send and
-//! identified by an 8-byte process-id handshake.
+//! JSON interop for rolling transitions ([`TcpConfig::accept_json`]).
+//! Each direction of a pair uses its own connection, established lazily
+//! on first send and identified by an 8-byte process-id handshake.
 //!
-//! The send path is built on per-connection writers ([`crate::writer`]):
+//! All sockets — inbound and outbound — are owned by a small fixed pool
+//! of readiness-loop threads ([`crate::evloop`],
+//! [`TcpConfig::loop_threads`]), replacing the old thread-per-connection
+//! readers and per-peer writer threads: the paper's client-server
+//! architecture (§3) multiplexes many clients over one server transport,
+//! and thread count must not scale with connection count. Inbound frames
+//! are decoded in place from pooled read buffers via the borrowing
+//! [`crate::codec::decode_body_ref`] path; outbound frames flow through
+//! per-connection bounded queues ([`crate::writer`]):
 //!
 //! * **Serialized writes** — every producer (multicast fan-out from any
 //!   thread, the heartbeat prober) enqueues complete frames on the
-//!   connection's bounded queue; a single writer thread per connection
-//!   performs all socket writes, so concurrent senders and heartbeats can
+//!   connection's bounded queue; the one loop thread owning the socket
+//!   performs all writes, so concurrent senders and heartbeats can
 //!   never tear a frame mid-stream.
-//! * **Coalesced flushes** — the writer drains every frame already
-//!   queued into one buffered `write_all`, so a burst of N multicasts
+//! * **Coalesced flushes** — the loop drains every frame already
+//!   queued into one buffered socket write, so a burst of N multicasts
 //!   costs one syscall instead of N
 //!   ([`TcpConfig::max_coalesce_frames`] / [`TcpConfig::max_flush_bytes`]).
 //! * **Independent fan-out** — [`Transport::send`] attempts *every*
@@ -36,30 +44,36 @@
 //!   `backoff_cap`, each padded with deterministic jitter (seeded
 //!   [`SimRng`]) so restarting peers are not stampeded in lock-step.
 //!   Retries are surfaced in [`NetStats::retries`].
-//! * **Heartbeats as a failure signal** — a zero-length frame is enqueued
-//!   on every outgoing connection each `heartbeat_interval`; receivers
-//!   treat it as pure liveness. A peer that was heard from but has been
-//!   silent for longer than `suspect_after` shows up in
-//!   [`TcpTransport::suspected_peers`] — the transport-level failure
-//!   detector a membership service's suspicion input can be fed from.
+//! * **Heartbeats as a failure signal** — a liveness probe claims the
+//!   *reserved* heartbeat slot on every outgoing connection each
+//!   `heartbeat_interval` (never competing with data for queue space, so
+//!   a backpressured queue cannot delay probes into false suspicion);
+//!   receivers treat the zero-length frame as pure liveness. A peer that
+//!   was heard from but has been silent for longer than `suspect_after`
+//!   shows up in [`TcpTransport::suspected_peers`] — the transport-level
+//!   failure detector a membership service's suspicion input can be fed
+//!   from.
+//! * **Resource-bounded reads** — a frame whose length prefix exceeds
+//!   [`TcpConfig::max_frame_len`] tears the connection down before any
+//!   allocation, and a peer stalled mid-handshake or mid-frame longer
+//!   than [`TcpConfig::read_idle_timeout`] is evicted instead of pinning
+//!   transport resources forever (the old blocking readers leaked a
+//!   thread and socket per half-open peer).
 
 use crate::codec::{self, WireFormat};
+use crate::evloop::{LoopConfig, LoopCounters, LoopCtx, LoopPool, Register};
 use crate::stats::NetStats;
-use crate::writer::{PeerWriter, PushError, WriterStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::writer::{OutQueue, PeerWriter, PushError, WriterStats};
+use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vsgm_ioa::SimRng;
 use vsgm_types::{NetMsg, ProcSet, ProcessId};
-
-/// Reject frames claiming more than this many bytes: a corrupted or
-/// malicious length prefix must not trigger an unbounded allocation.
-const MAX_FRAME: usize = 1 << 26; // 64 MiB
 
 /// A point-to-point message transport for GCS end-points.
 ///
@@ -146,6 +160,28 @@ pub struct TcpConfig {
     /// this watermark makes the pressure *observable* before the hard
     /// limit stalls senders.
     pub queue_watermark: usize,
+    /// Event-loop threads owning all of the transport's sockets. Thread
+    /// count stays constant in the connection count — raise this for
+    /// servers multiplexing thousands of clients, not per connection.
+    pub loop_threads: usize,
+    /// Reject inbound frames claiming more than this many bytes: a
+    /// corrupted or malicious length prefix must not trigger an
+    /// unbounded allocation. Violations tear the connection down and
+    /// count in [`NetStats::oversize_rejected`].
+    pub max_frame_len: usize,
+    /// Evict a connection stalled *mid-handshake or mid-frame* for
+    /// longer than this (idle between complete frames is legal and
+    /// never evicted). `Duration::ZERO` disables eviction. Evictions
+    /// count in [`NetStats::idle_evictions`].
+    pub read_idle_timeout: Duration,
+    /// Whether receivers still decode non-binary (JSON) frame bodies.
+    /// Defaults to `true` for rolling-transition interop; binary-only
+    /// deployments can turn it off to make framing strict.
+    pub accept_json: bool,
+    /// Initial size of each pooled per-connection read buffer. Buffers
+    /// grow transiently for frames larger than this and shrink back to
+    /// the pool size when recycled.
+    pub read_buf_bytes: usize,
 }
 
 impl Default for TcpConfig {
@@ -163,11 +199,16 @@ impl Default for TcpConfig {
             max_flush_bytes: 1 << 20,
             enqueue_timeout: Duration::from_secs(2),
             queue_watermark: 512,
+            loop_threads: 2,
+            max_frame_len: 1 << 26, // 64 MiB
+            read_idle_timeout: Duration::from_secs(30),
+            accept_json: true,
+            read_buf_bytes: 64 << 10,
         }
     }
 }
 
-/// State shared with the reader/accept/heartbeat/writer threads.
+/// State shared with the accept/heartbeat threads and the event loops.
 struct TcpShared {
     me: ProcessId,
     // vsgm-lock-tier(3): taken under a per-peer connect guard (and on
@@ -181,14 +222,18 @@ struct TcpShared {
     // vsgm-lock-tier(1): the map lock is only held to clone out the
     // per-peer Arc; the per-peer guards inside outrank every other lock.
     connect_locks: Mutex<HashMap<ProcessId, Arc<Mutex<()>>>>,
-    /// Last time any frame (handshake, data, heartbeat) arrived per peer.
-    // vsgm-lock-tier(5): leaf — touched by reader/heartbeat threads with
+    /// Last time any frame (handshake, data, heartbeat) arrived per peer
+    /// — shared with the event loops through [`LoopCtx`].
+    // vsgm-lock-tier(5): leaf — touched by loop/heartbeat threads with
     // nothing else held.
-    last_heard: Mutex<HashMap<ProcessId, Instant>>,
+    last_heard: Arc<Mutex<HashMap<ProcessId, Instant>>>,
+    /// The fixed pool of event-loop threads owning every socket.
+    pool: LoopPool,
+    /// Loop-side counters (heartbeats heard, rejects, evictions, conns).
+    counters: Arc<LoopCounters>,
     writer_stats: Arc<WriterStats>,
     retries: AtomicU64,
     heartbeats_sent: AtomicU64,
-    heartbeats_heard: AtomicU64,
     accepted: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -214,20 +259,39 @@ impl TcpTransport {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let (tx, rx) = unbounded();
+        let writer_stats = Arc::new(WriterStats::default());
+        let counters = Arc::new(LoopCounters::default());
+        let last_heard = Arc::new(Mutex::new(HashMap::new()));
+        let ctx = Arc::new(LoopCtx {
+            tx,
+            stats: Arc::clone(&writer_stats),
+            counters: Arc::clone(&counters),
+            last_heard: Arc::clone(&last_heard),
+        });
+        let loop_cfg = LoopConfig {
+            max_coalesce_frames: config.max_coalesce_frames,
+            max_flush_bytes: config.max_flush_bytes,
+            max_frame_len: config.max_frame_len,
+            read_idle_timeout: config.read_idle_timeout,
+            accept_json: config.accept_json,
+            read_buf_bytes: config.read_buf_bytes,
+        };
+        let pool = LoopPool::spawn(config.loop_threads, &ctx, &loop_cfg);
         let shared = Arc::new(TcpShared {
             me,
             addr_book: Mutex::new(HashMap::new()),
             outgoing: Mutex::new(HashMap::new()),
             connect_locks: Mutex::new(HashMap::new()),
-            last_heard: Mutex::new(HashMap::new()),
-            writer_stats: Arc::new(WriterStats::default()),
+            last_heard,
+            pool,
+            counters,
+            writer_stats,
             retries: AtomicU64::new(0),
             heartbeats_sent: AtomicU64::new(0),
-            heartbeats_heard: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
-        spawn_accept_loop(listener, tx, Arc::clone(&shared));
+        spawn_accept_loop(listener, Arc::clone(&shared));
         if config.heartbeat_interval > Duration::ZERO {
             spawn_heartbeat_loop(Arc::clone(&shared), config.heartbeat_interval);
         }
@@ -265,6 +329,7 @@ impl TcpTransport {
     /// stay empty — message accounting happens in the layers above.
     pub fn stats(&self) -> NetStats {
         let ws = &self.shared.writer_stats;
+        let lc = &self.shared.counters;
         let mut s = NetStats::new();
         s.retries = self.shared.retries.load(Ordering::Relaxed);
         s.heartbeats = self.shared.heartbeats_sent.load(Ordering::Relaxed);
@@ -273,6 +338,12 @@ impl TcpTransport {
         s.coalesce_max = ws.coalesce_max.load(Ordering::Relaxed);
         s.queue_depth_max = ws.queue_depth_max.load(Ordering::Relaxed);
         s.backpressure_hits = ws.backpressure_hits.load(Ordering::Relaxed);
+        s.frames_enqueued = ws.frames_enqueued.load(Ordering::Relaxed);
+        s.frames_dropped = ws.frames_dropped.load(Ordering::Relaxed);
+        s.oversize_rejected = lc.oversize_rejected.load(Ordering::Relaxed);
+        s.idle_evictions = lc.idle_evictions.load(Ordering::Relaxed);
+        s.conns_open = lc.conns_open();
+        s.loop_threads = self.shared.pool.threads() as u64;
         s
     }
 
@@ -287,11 +358,29 @@ impl TcpTransport {
         rec.gauge(names::NET_COALESCE_MAX, s.coalesce_max);
         rec.gauge(names::NET_QUEUE_DEPTH_MAX, s.queue_depth_max);
         rec.counter(names::NET_BACKPRESSURE, s.backpressure_hits);
+        rec.counter(names::NET_FRAMES_ENQUEUED, s.frames_enqueued);
+        rec.counter(names::NET_FRAMES_DROPPED, s.frames_dropped);
+        rec.counter(names::NET_OVERSIZE_REJECTED, s.oversize_rejected);
+        rec.counter(names::NET_IDLE_EVICTIONS, s.idle_evictions);
+        rec.gauge(names::NET_CONNS_OPEN, s.conns_open);
+        rec.gauge(names::NET_LOOP_THREADS, s.loop_threads);
     }
 
     /// Heartbeat frames received from peers (liveness evidence).
     pub fn heartbeats_received(&self) -> u64 {
-        self.shared.heartbeats_heard.load(Ordering::Relaxed)
+        self.shared.counters.heartbeats_heard.load(Ordering::Relaxed)
+    }
+
+    /// Event-loop threads serving every socket of this transport —
+    /// fixed at [`TcpConfig::loop_threads`] no matter how many
+    /// connections are open.
+    pub fn loop_thread_count(&self) -> usize {
+        self.shared.pool.threads()
+    }
+
+    /// Connections (inbound + outbound) currently owned by the loops.
+    pub fn open_connections(&self) -> u64 {
+        self.shared.counters.conns_open()
     }
 
     /// Inbound connections accepted by the listener. With race-free
@@ -358,16 +447,20 @@ impl TcpTransport {
     fn try_connect(&self, peer: ProcessId, addr: SocketAddr) -> io::Result<PeerWriter> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        // Handshake: announce who we are. The writer thread has not
-        // started yet, so this write cannot interleave with frames.
+        // Handshake: announce who we are. The connection has not been
+        // handed to an event loop yet, so this (blocking) write cannot
+        // interleave with frames.
         stream.write_all(&self.shared.me.raw().to_le_bytes())?;
-        let writer = PeerWriter::spawn(
+        stream.set_nonblocking(true)?;
+        let queue = Arc::new(OutQueue::new(self.config.writer_queue));
+        let broken = Arc::new(AtomicBool::new(false));
+        let waker = self.shared.pool.register(Register::Outbound {
             stream,
-            self.config.writer_queue,
-            self.config.max_coalesce_frames,
-            self.config.max_flush_bytes,
-            Arc::clone(&self.shared.writer_stats),
-        );
+            queue: Arc::clone(&queue),
+            broken: Arc::clone(&broken),
+        });
+        let writer =
+            PeerWriter::new(queue, broken, waker, Arc::clone(&self.shared.writer_stats));
         self.shared.outgoing.lock().insert(peer, writer.clone());
         Ok(writer)
     }
@@ -474,11 +567,12 @@ fn aggregate_send_errors(
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Close every writer queue: queued frames still flush, then the
-        // writer threads exit.
+        // Close every writer queue (queued frames still flush), then tell
+        // the loops to finish flushing within their grace window and exit.
         for (_, w) in self.shared.outgoing.lock().drain() {
             w.close();
         }
+        self.shared.pool.shutdown();
     }
 }
 
@@ -491,27 +585,22 @@ impl std::fmt::Debug for TcpTransport {
     }
 }
 
-fn spawn_accept_loop(
-    listener: TcpListener,
-    tx: Sender<(ProcessId, NetMsg)>,
-    shared: Arc<TcpShared>,
-) {
+fn spawn_accept_loop(listener: TcpListener, shared: Arc<TcpShared>) {
     std::thread::Builder::new()
         .name("vsgm-tcp-accept".into())
         .spawn(move || {
             while !shared.shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        // No thread spawned: the socket joins an event
+                        // loop's connection set (round-robin).
                         shared.accepted.fetch_add(1, Ordering::Relaxed);
-                        let tx = tx.clone();
-                        let shared = Arc::clone(&shared);
-                        std::thread::Builder::new()
-                            .name("vsgm-tcp-reader".into())
-                            .spawn(move || reader_loop(stream, tx, shared))
-                            // vsgm-allow(P1): thread-spawn failure is OS
-                            // resource exhaustion at transport startup —
-                            // not a protocol state, nothing to unwind to
-                            .expect("spawn reader thread");
+                        if stream.set_nodelay(true).is_err()
+                            || stream.set_nonblocking(true).is_err()
+                        {
+                            continue;
+                        }
+                        shared.pool.register(Register::Inbound(stream));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(1));
@@ -525,17 +614,17 @@ fn spawn_accept_loop(
         .expect("spawn accept thread");
 }
 
-/// Periodically enqueues a zero-length frame on every outgoing
-/// connection. Heartbeats ride the same per-connection writer as data —
-/// they can never interleave inside a data frame. A connection whose
-/// writer has died is torn down here, so the next send reconnects with
-/// backoff — dead peers are detected even when the application has
-/// nothing to say.
+/// Periodically claims the *reserved* heartbeat slot on every outgoing
+/// connection. The probe never competes with data for queue space, so a
+/// queue sitting at its backpressure watermark cannot delay liveness
+/// probes past `heartbeat_interval` (the false-suspicion bug). A
+/// connection whose queue has died is torn down here, so the next send
+/// reconnects with backoff — dead peers are detected even when the
+/// application has nothing to say.
 fn spawn_heartbeat_loop(shared: Arc<TcpShared>, interval: Duration) {
     std::thread::Builder::new()
         .name("vsgm-tcp-heartbeat".into())
         .spawn(move || {
-            let heartbeat = 0u32.to_le_bytes().to_vec();
             while !shared.shutdown.load(Ordering::SeqCst) {
                 std::thread::sleep(interval);
                 let conns: Vec<(ProcessId, PeerWriter)> = shared
@@ -545,18 +634,12 @@ fn spawn_heartbeat_loop(shared: Arc<TcpShared>, interval: Duration) {
                     .map(|(p, w)| (*p, w.clone()))
                     .collect();
                 for (peer, writer) in conns {
-                    // Don't wait on a full queue: data traffic is already
-                    // flowing, which is liveness evidence enough.
-                    match writer.push(heartbeat.clone(), Duration::ZERO) {
-                        Ok(_) => {
-                            shared.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(PushError::Timeout) => {}
-                        Err(PushError::Closed) => {
-                            let mut out = shared.outgoing.lock();
-                            if out.get(&peer).is_some_and(|w| w.same_as(&writer)) {
-                                out.remove(&peer);
-                            }
+                    if writer.push_heartbeat() {
+                        shared.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let mut out = shared.outgoing.lock();
+                        if out.get(&peer).is_some_and(|w| w.same_as(&writer)) {
+                            out.remove(&peer);
                         }
                     }
                 }
@@ -565,47 +648,6 @@ fn spawn_heartbeat_loop(shared: Arc<TcpShared>, interval: Duration) {
         // vsgm-allow(P1): thread-spawn failure is OS resource exhaustion
         // at transport startup — not a protocol state, nothing to unwind to
         .expect("spawn heartbeat thread");
-}
-
-fn reader_loop(mut stream: TcpStream, tx: Sender<(ProcessId, NetMsg)>, shared: Arc<TcpShared>) {
-    if stream.set_nodelay(true).is_err() {
-        return;
-    }
-    // Handshake: the 8-byte peer id.
-    let mut id_buf = [0u8; 8];
-    if stream.read_exact(&mut id_buf).is_err() {
-        return;
-    }
-    let peer = ProcessId::new(u64::from_le_bytes(id_buf));
-    shared.last_heard.lock().insert(peer, Instant::now());
-    let mut len_buf = [0u8; 4];
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        if stream.read_exact(&mut len_buf).is_err() {
-            return;
-        }
-        let len = u32::from_le_bytes(len_buf) as usize;
-        if len == 0 {
-            // Heartbeat: pure liveness, no payload.
-            shared.heartbeats_heard.fetch_add(1, Ordering::Relaxed);
-            shared.last_heard.lock().insert(peer, Instant::now());
-            continue;
-        }
-        if len > MAX_FRAME {
-            // A corrupt length prefix poisons the whole stream (framing is
-            // lost); drop the connection rather than allocate unboundedly.
-            return;
-        }
-        let mut body = vec![0u8; len];
-        if stream.read_exact(&mut body).is_err() {
-            return;
-        }
-        // Accepts both binary and JSON bodies (rolling-transition interop).
-        let Some(msg) = codec::decode_body(&body) else { return };
-        shared.last_heard.lock().insert(peer, Instant::now());
-        if tx.send((peer, msg)).is_err() {
-            return;
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,36 +1,52 @@
-//! Per-connection write path: each outgoing TCP connection owns its
-//! write half behind a bounded frame queue drained by a single writer
-//! thread.
+//! Per-connection outbound write state: a bounded frame queue with a
+//! reserved heartbeat slot, drained by the transport's event loop
+//! ([`crate::evloop`]).
 //!
-//! This is what makes the transport honor the `CO_RFIFO` channel
-//! envelope under concurrency:
+//! Historically each connection owned a dedicated writer *thread*; the
+//! readiness-loop rewrite keeps the queue discipline but moves the
+//! socket writes into the shared loop threads. The queue is still what
+//! makes the transport honor the `CO_RFIFO` channel envelope under
+//! concurrency:
 //!
 //! * every producer (multicast fan-out, heartbeat prober, concurrent
-//!   `send` callers) only *enqueues* complete frames — one thread per
-//!   connection performs all socket writes, so frames can never tear;
+//!   `send` callers) only *enqueues* complete frames — one loop thread
+//!   owns each connection's socket, so frames can never tear;
 //! * the queue is bounded, so one stalled peer exerts backpressure on
-//!   its own channel without blocking writes to other peers forever —
-//!   a producer that cannot enqueue within its timeout declares the
+//!   its own channel without blocking writes to other peers — a
+//!   producer that cannot enqueue within its timeout declares the
 //!   connection broken instead of wedging the multicast;
-//! * the writer coalesces every frame already queued into one buffered
-//!   `write_all`, turning N queued frames into one syscall.
+//! * heartbeats do NOT compete with data for queue slots: a reserved
+//!   out-of-band slot ([`OutQueue::push_heartbeat`]) always accepts the
+//!   next probe and the drain emits it *ahead* of queued data, so a
+//!   queue sitting at the backpressure watermark can no longer delay
+//!   liveness probes past `heartbeat_interval` and trigger false
+//!   suspicion of a healthy-but-busy peer;
+//! * the drain coalesces every frame already queued into one buffered
+//!   socket write, turning N queued frames into one syscall.
 
+use crate::evloop::LoopWaker;
 use std::collections::VecDeque;
-use std::io::Write;
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-/// Flush/coalesce accounting shared by every writer thread of one
+/// Flush/coalesce accounting shared by every connection of one
 /// transport; surfaced through `NetStats` and `vsgm-obs`.
+///
+/// The first three write counters obey a conservation law the soak
+/// tests assert: once a transport is quiescent (every queue drained or
+/// torn down), `frames_enqueued == frames_flushed + frames_dropped`.
 #[derive(Debug, Default)]
 pub(crate) struct WriterStats {
-    /// Buffered `write_all` flushes issued.
-    pub flushes: AtomicU64,
-    /// Frames carried by those flushes (≥ flushes; the ratio is the mean
-    /// coalescing factor).
+    /// Frames accepted into any per-connection queue (data + heartbeats).
+    pub frames_enqueued: AtomicU64,
+    /// Frames fully written to a socket.
     pub frames_flushed: AtomicU64,
+    /// Frames discarded without reaching the wire: queue remnants and
+    /// in-flight coalesce buffers of torn-down connections.
+    pub frames_dropped: AtomicU64,
+    /// Completed coalesced socket flushes.
+    pub flushes: AtomicU64,
     /// Largest number of frames coalesced into a single flush.
     pub coalesce_max: AtomicU64,
     /// High-water mark of any per-connection queue depth at enqueue time.
@@ -44,26 +60,37 @@ pub(crate) struct WriterStats {
 /// Why an enqueue did not happen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum PushError {
-    /// The writer died (socket error) or the transport shut down.
+    /// The connection died (socket error) or the transport shut down.
     Closed,
     /// The queue stayed full for the whole timeout — the peer is stalled.
     Timeout,
 }
 
-struct QueueInner {
+struct OutInner {
     frames: VecDeque<Vec<u8>>,
+    /// The reserved heartbeat slot: set by the prober regardless of how
+    /// full `frames` is, drained ahead of it.
+    hb_pending: bool,
     closed: bool,
 }
 
-/// Bounded MPSC queue of encoded frames feeding one writer thread.
-struct FrameQueue {
+/// What one [`OutQueue::take_batch`] drain carried.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TakenBatch {
+    /// Frames moved into the flush buffer (heartbeat included).
+    pub frames: u64,
+    /// Whether the reserved heartbeat slot was drained.
+    pub heartbeat: bool,
+}
+
+/// Bounded MPSC queue of encoded frames feeding one connection, drained
+/// by the event loop thread that owns the socket.
+pub(crate) struct OutQueue {
     // vsgm-lock-tier(1): the queue's only lock; held across the paired
-    // condvar waits (required) and never while taking another lock.
-    inner: Mutex<QueueInner>,
+    // condvar waits (required) and never while taking any other lock.
+    inner: Mutex<OutInner>,
     // vsgm-lock-tier(1): condvar paired with `inner` — same tier, it is
     // only ever waited on with that one mutex.
-    not_empty: Condvar,
-    // vsgm-lock-tier(1): condvar paired with `inner`, as above.
     not_full: Condvar,
     cap: usize,
 }
@@ -71,15 +98,21 @@ struct FrameQueue {
 /// The std mutexes here are internal to the queue and never poisoned
 /// while holding broken invariants (pushes and pops are single
 /// statements); recover the guard rather than propagate.
-fn lock(m: &Mutex<QueueInner>) -> MutexGuard<'_, QueueInner> {
+fn lock(m: &Mutex<OutInner>) -> MutexGuard<'_, OutInner> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-impl FrameQueue {
-    fn new(cap: usize) -> FrameQueue {
-        FrameQueue {
-            inner: Mutex::new(QueueInner { frames: VecDeque::new(), closed: false }),
-            not_empty: Condvar::new(),
+/// The zero-length heartbeat frame: a bare 4-byte length prefix of 0.
+const HEARTBEAT_FRAME: [u8; 4] = [0, 0, 0, 0];
+
+impl OutQueue {
+    pub(crate) fn new(cap: usize) -> OutQueue {
+        OutQueue {
+            inner: Mutex::new(OutInner {
+                frames: VecDeque::new(),
+                hb_pending: false,
+                closed: false,
+            }),
             not_full: Condvar::new(),
             cap: cap.max(1),
         }
@@ -96,9 +129,7 @@ impl FrameQueue {
             }
             if g.frames.len() < self.cap {
                 g.frames.push_back(frame);
-                let depth = g.frames.len();
-                self.not_empty.notify_one();
-                return Ok(depth);
+                return Ok(g.frames.len());
             }
             let now = Instant::now();
             let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
@@ -113,102 +144,161 @@ impl FrameQueue {
         }
     }
 
-    /// Blocks for the next frame, then drains every frame already queued
-    /// (up to `max_frames` / `max_bytes`) into `buf`. Returns the number
-    /// of frames taken, or `None` once the queue is closed and empty.
-    fn pop_batch(&self, buf: &mut Vec<u8>, max_frames: u64, max_bytes: usize) -> Option<u64> {
+    /// Claims the reserved heartbeat slot. Never waits and never fails on
+    /// a full queue — that is the point: liveness probes must not queue
+    /// behind data. Returns `false` only if the queue is closed. A probe
+    /// arriving while one is already pending coalesces into it (`false`:
+    /// nothing new was enqueued).
+    pub(crate) fn push_heartbeat(&self) -> bool {
         let mut g = lock(&self.inner);
-        loop {
-            if !g.frames.is_empty() {
-                let mut taken = 0u64;
-                while taken < max_frames.max(1) && (taken == 0 || buf.len() < max_bytes) {
-                    match g.frames.pop_front() {
-                        Some(f) => {
-                            buf.extend_from_slice(&f);
-                            taken += 1;
-                        }
-                        None => break,
-                    }
-                }
-                self.not_full.notify_all();
-                return Some(taken);
-            }
-            if g.closed {
-                return None;
-            }
-            g = self.not_empty.wait(g).unwrap_or_else(PoisonError::into_inner);
+        if g.closed || g.hb_pending {
+            return false;
         }
+        g.hb_pending = true;
+        true
+    }
+
+    /// Drains the reserved heartbeat slot and then every frame already
+    /// queued (up to `max_frames` / `max_bytes`) into `buf`, heartbeat
+    /// first. Non-blocking; returns what was taken.
+    pub(crate) fn take_batch(
+        &self,
+        buf: &mut Vec<u8>,
+        max_frames: u64,
+        max_bytes: usize,
+    ) -> TakenBatch {
+        let mut g = lock(&self.inner);
+        let mut taken = TakenBatch::default();
+        if g.hb_pending {
+            g.hb_pending = false;
+            buf.extend_from_slice(&HEARTBEAT_FRAME);
+            taken.frames += 1;
+            taken.heartbeat = true;
+        }
+        while taken.frames < max_frames.max(1) && (taken.frames == 0 || buf.len() < max_bytes)
+        {
+            match g.frames.pop_front() {
+                Some(f) => {
+                    buf.extend_from_slice(&f);
+                    taken.frames += 1;
+                }
+                None => break,
+            }
+        }
+        if taken.frames > 0 {
+            self.not_full.notify_all();
+        }
+        taken
+    }
+
+    /// Whether nothing is left to write (no frames, no pending probe).
+    pub(crate) fn is_drained(&self) -> bool {
+        let g = lock(&self.inner);
+        g.frames.is_empty() && !g.hb_pending
+    }
+
+    /// Whether the queue has been closed.
+    pub(crate) fn is_closed(&self) -> bool {
+        lock(&self.inner).closed
     }
 
     /// Closes the queue: pending frames still drain, new pushes fail.
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         lock(&self.inner).closed = true;
-        self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Closes and empties the queue, returning how many frames (probe
+    /// included) were thrown away — the teardown side of the
+    /// `enqueued == flushed + dropped` conservation law.
+    pub(crate) fn drain_remaining(&self) -> u64 {
+        let mut g = lock(&self.inner);
+        g.closed = true;
+        let mut n = g.frames.len() as u64;
+        g.frames.clear();
+        if g.hb_pending {
+            g.hb_pending = false;
+            n += 1;
+        }
+        self.not_full.notify_all();
+        n
     }
 }
 
-/// Handle to one connection's writer: clone-cheap (two `Arc`s), shared
-/// between the transport map, senders, and the heartbeat prober.
+/// Handle to one connection's outbound side: clone-cheap, shared between
+/// the transport map, senders, and the heartbeat prober. The socket
+/// itself lives in the event loop; this handle only feeds its queue.
 #[derive(Clone)]
 pub(crate) struct PeerWriter {
-    queue: Arc<FrameQueue>,
+    queue: Arc<OutQueue>,
     broken: Arc<AtomicBool>,
+    waker: LoopWaker,
+    stats: Arc<WriterStats>,
 }
 
 impl PeerWriter {
-    /// Takes ownership of the connection's write half and starts the
-    /// writer thread.
-    pub(crate) fn spawn(
-        stream: TcpStream,
-        queue_cap: usize,
-        max_coalesce_frames: u64,
-        max_flush_bytes: usize,
+    pub(crate) fn new(
+        queue: Arc<OutQueue>,
+        broken: Arc<AtomicBool>,
+        waker: LoopWaker,
         stats: Arc<WriterStats>,
     ) -> PeerWriter {
-        let queue = Arc::new(FrameQueue::new(queue_cap));
-        let broken = Arc::new(AtomicBool::new(false));
-        let writer = PeerWriter { queue: Arc::clone(&queue), broken: Arc::clone(&broken) };
-        std::thread::Builder::new()
-            .name("vsgm-tcp-writer".into())
-            .spawn(move || {
-                writer_loop(stream, &queue, &broken, &stats, max_coalesce_frames, max_flush_bytes);
-            })
-            // vsgm-allow(P1): thread-spawn failure is OS resource exhaustion
-            // at connection setup — not a protocol state, nothing to unwind to
-            .expect("spawn writer thread");
-        writer
+        PeerWriter { queue, broken, waker, stats }
     }
 
-    /// Enqueues an already-encoded frame; returns the post-push depth.
+    /// Enqueues an already-encoded frame and wakes the owning loop;
+    /// returns the post-push depth.
     pub(crate) fn push(&self, frame: Vec<u8>, timeout: Duration) -> Result<usize, PushError> {
         if self.broken.load(Ordering::Acquire) {
             return Err(PushError::Closed);
         }
-        self.queue.push(frame, timeout)
+        let depth = self.queue.push(frame, timeout)?;
+        self.stats.frames_enqueued.fetch_add(1, Ordering::Relaxed);
+        self.waker.wake();
+        Ok(depth)
     }
 
-    /// Whether the writer declared the connection dead.
+    /// Claims the reserved heartbeat slot and wakes the owning loop.
+    /// Returns `false` if the connection is down (probe not accepted).
+    pub(crate) fn push_heartbeat(&self) -> bool {
+        if self.broken.load(Ordering::Acquire) {
+            return false;
+        }
+        if self.queue.push_heartbeat() {
+            self.stats.frames_enqueued.fetch_add(1, Ordering::Relaxed);
+            self.waker.wake();
+            return true;
+        }
+        // A probe was already pending; the connection is still live.
+        !self.queue.is_closed()
+    }
+
+    /// Whether the loop (or a stalled-queue sender) declared the
+    /// connection dead.
     pub(crate) fn is_broken(&self) -> bool {
         self.broken.load(Ordering::Acquire)
     }
 
-    /// Marks the connection dead and wakes the writer so it exits.
+    /// Marks the connection dead and wakes the loop so it tears the
+    /// socket down and accounts the queue remnants as dropped.
     pub(crate) fn mark_broken(&self) {
         self.broken.store(true, Ordering::Release);
         self.queue.close();
+        self.waker.wake();
     }
 
-    /// Same writer (not merely same peer): used so a thread only evicts
-    /// the map entry it actually observed broken, never a fresh
+    /// Same connection (not merely same peer): used so a thread only
+    /// evicts the map entry it actually observed broken, never a fresh
     /// reconnection racing in underneath it.
     pub(crate) fn same_as(&self, other: &PeerWriter) -> bool {
         Arc::ptr_eq(&self.broken, &other.broken)
     }
 
-    /// Closes the queue; queued frames still flush, then the thread exits.
+    /// Closes the queue; queued frames still flush, then the loop
+    /// retires the connection.
     pub(crate) fn close(&self) {
         self.queue.close();
+        self.waker.wake();
     }
 }
 
@@ -218,116 +308,151 @@ impl std::fmt::Debug for PeerWriter {
     }
 }
 
-fn writer_loop(
-    mut stream: TcpStream,
-    queue: &FrameQueue,
-    broken: &AtomicBool,
-    stats: &WriterStats,
-    max_coalesce_frames: u64,
-    max_flush_bytes: usize,
-) {
-    let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
-    loop {
-        buf.clear();
-        let Some(frames) = queue.pop_batch(&mut buf, max_coalesce_frames, max_flush_bytes)
-        else {
-            break;
-        };
-        if frames == 0 {
-            continue;
-        }
-        stats.flushes.fetch_add(1, Ordering::Relaxed);
-        stats.frames_flushed.fetch_add(frames, Ordering::Relaxed);
-        stats.coalesce_max.fetch_max(frames, Ordering::Relaxed);
-        if stream.write_all(&buf).is_err() {
-            broken.store(true, Ordering::Release);
-            queue.close();
-            break;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read;
-    use std::net::TcpListener;
 
-    fn loopback_pair() -> (TcpStream, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let client = TcpStream::connect(addr).unwrap();
-        let (server, _) = listener.accept().unwrap();
-        (client, server)
+    fn q(cap: usize) -> OutQueue {
+        OutQueue::new(cap)
     }
 
-    #[test]
-    fn frames_flush_in_fifo_order() {
-        let (client, mut server) = loopback_pair();
-        let stats = Arc::new(WriterStats::default());
-        let w = PeerWriter::spawn(client, 64, 32, 1 << 20, Arc::clone(&stats));
-        for b in [b"aa".to_vec(), b"bb".to_vec(), b"cc".to_vec()] {
-            w.push(b, Duration::from_secs(1)).unwrap();
+    fn frames_in(buf: &[u8]) -> Vec<Vec<u8>> {
+        // Split a coalesced buffer back into length-prefixed frames.
+        let mut out = Vec::new();
+        let mut rest = buf;
+        while let Some((len, tail)) = rest.split_first_chunk::<4>() {
+            let n = u32::from_le_bytes(*len) as usize;
+            let (body, tail) = tail.split_at(n);
+            out.push(body.to_vec());
+            rest = tail;
         }
-        let mut got = [0u8; 6];
-        server.read_exact(&mut got).unwrap();
-        assert_eq!(&got, b"aabbcc");
-        assert!(stats.flushes.load(Ordering::Relaxed) >= 1);
-        assert_eq!(stats.frames_flushed.load(Ordering::Relaxed), 3);
+        assert!(rest.is_empty(), "trailing bytes in coalesced buffer");
+        out
+    }
+
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut f = (body.len() as u32).to_le_bytes().to_vec();
+        f.extend_from_slice(body);
+        f
     }
 
     #[test]
-    fn close_drains_queued_frames() {
-        let (client, mut server) = loopback_pair();
-        let w = PeerWriter::spawn(client, 64, 32, 1 << 20, Arc::default());
-        w.push(b"tail".to_vec(), Duration::from_secs(1)).unwrap();
-        w.close();
-        let mut got = [0u8; 4];
-        server.read_exact(&mut got).unwrap();
-        assert_eq!(&got, b"tail");
-        // After close, pushes fail with Closed.
-        assert_eq!(
-            w.push(b"late".to_vec(), Duration::from_millis(10)),
-            Err(PushError::Closed)
-        );
+    fn fifo_order_and_coalescing() {
+        let q = q(64);
+        for b in [b"aa".as_slice(), b"bb", b"cc"] {
+            q.push(frame(b), Duration::from_secs(1)).unwrap();
+        }
+        let mut buf = Vec::new();
+        let taken = q.take_batch(&mut buf, 32, 1 << 20);
+        assert_eq!(taken, TakenBatch { frames: 3, heartbeat: false });
+        assert_eq!(frames_in(&buf), vec![b"aa".to_vec(), b"bb".to_vec(), b"cc".to_vec()]);
+        assert!(q.is_drained());
+    }
+
+    /// The pinned heartbeat-priority regression, queue half: a queue
+    /// full of data must still accept a probe (reserved slot), and the
+    /// drain must emit the probe *before* the queued data. Pre-rewrite,
+    /// heartbeats were ordinary frames: a full queue rejected them
+    /// (`push` with a zero timeout timed out) and the prober silently
+    /// skipped the beat — the false-suspicion mechanism.
+    #[test]
+    fn heartbeat_has_a_reserved_slot_and_front_priority() {
+        let q = q(2);
+        q.push(frame(b"d1"), Duration::from_secs(1)).unwrap();
+        q.push(frame(b"d2"), Duration::from_secs(1)).unwrap();
+        // Queue is at capacity: a data push would time out...
+        assert_eq!(q.push(frame(b"d3"), Duration::from_millis(5)), Err(PushError::Timeout));
+        // ...but the probe still lands, and coalesces with a second one.
+        assert!(q.push_heartbeat());
+        assert!(!q.push_heartbeat(), "second probe coalesces into the pending one");
+        let mut buf = Vec::new();
+        let taken = q.take_batch(&mut buf, 32, 1 << 20);
+        assert_eq!(taken, TakenBatch { frames: 3, heartbeat: true });
+        let frames = frames_in(&buf);
+        assert_eq!(frames.first().map(Vec::len), Some(0), "heartbeat drains first");
+        assert_eq!(&frames[1..], &[b"d1".to_vec(), b"d2".to_vec()]);
     }
 
     #[test]
-    fn full_queue_times_out_without_wedging() {
-        let (client, server) = loopback_pair();
-        // Tiny queue, and nobody reads `server`: once the socket buffer
-        // fills, the writer blocks and the queue stays full.
-        let w = PeerWriter::spawn(client, 2, 32, 1 << 20, Arc::default());
-        let big = vec![0u8; 1 << 20];
-        let mut saw_timeout = false;
-        for _ in 0..64 {
-            match w.push(big.clone(), Duration::from_millis(20)) {
-                Ok(_) => {}
-                Err(PushError::Timeout) => {
-                    saw_timeout = true;
-                    break;
+    fn bounded_queue_times_out_then_recovers() {
+        let q = q(1);
+        q.push(frame(b"x"), Duration::from_secs(1)).unwrap();
+        assert_eq!(q.push(frame(b"y"), Duration::from_millis(10)), Err(PushError::Timeout));
+        let mut buf = Vec::new();
+        q.take_batch(&mut buf, 32, 1 << 20);
+        // Space freed: the next push succeeds.
+        assert_eq!(q.push(frame(b"y"), Duration::from_millis(10)), Ok(1));
+    }
+
+    #[test]
+    fn close_keeps_queued_frames_for_the_drain() {
+        let q = q(8);
+        q.push(frame(b"tail"), Duration::from_secs(1)).unwrap();
+        q.close();
+        assert_eq!(q.push(frame(b"late"), Duration::from_millis(5)), Err(PushError::Closed));
+        assert!(!q.push_heartbeat(), "closed queue rejects probes");
+        let mut buf = Vec::new();
+        let taken = q.take_batch(&mut buf, 32, 1 << 20);
+        assert_eq!(taken.frames, 1, "close still drains queued frames");
+        assert_eq!(frames_in(&buf), vec![b"tail".to_vec()]);
+    }
+
+    #[test]
+    fn drain_remaining_counts_data_and_pending_probe() {
+        let q = q(8);
+        q.push(frame(b"a"), Duration::from_secs(1)).unwrap();
+        q.push(frame(b"b"), Duration::from_secs(1)).unwrap();
+        assert!(q.push_heartbeat());
+        assert_eq!(q.drain_remaining(), 3);
+        assert!(q.is_drained() && q.is_closed());
+        assert_eq!(q.push(frame(b"c"), Duration::from_millis(5)), Err(PushError::Closed));
+    }
+
+    /// Concurrent producers against one consumer: every pushed frame is
+    /// drained exactly once, in an order that preserves each producer's
+    /// own sequence. (This is the queue half of the old writer-thread
+    /// TSan smoke; the loop half lives in the tcp tests.)
+    #[test]
+    fn concurrent_producers_drain_exactly_once_in_producer_order() {
+        let q = Arc::new(q(16));
+        const PRODUCERS: u8 = 3;
+        const PER: u32 = 400;
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got: Vec<Vec<u8>> = Vec::new();
+                let mut buf = Vec::new();
+                while got.len() < (PRODUCERS as usize) * (PER as usize) {
+                    buf.clear();
+                    if q.take_batch(&mut buf, 8, 1 << 20).frames == 0 {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    got.extend(frames_in(&buf));
                 }
-                Err(PushError::Closed) => panic!("writer died unexpectedly"),
+                got
+            })
+        };
+        std::thread::scope(|s| {
+            for t in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let mut body = vec![t];
+                        body.extend_from_slice(&i.to_le_bytes());
+                        q.push(frame(&body), Duration::from_secs(10)).unwrap();
+                    }
+                });
             }
+        });
+        let got = consumer.join().unwrap();
+        let mut next = [0u32; PRODUCERS as usize];
+        for body in &got {
+            let (t, seq) = body.split_first().unwrap();
+            let i = u32::from_le_bytes(seq.try_into().unwrap());
+            assert_eq!(i, next[*t as usize], "producer {t} reordered");
+            next[*t as usize] += 1;
         }
-        assert!(saw_timeout, "queue never exerted backpressure");
-        drop(server);
-    }
-
-    #[test]
-    fn broken_socket_marks_writer_broken() {
-        let (client, server) = loopback_pair();
-        let w = PeerWriter::spawn(client, 64, 32, 1 << 20, Arc::default());
-        drop(server);
-        // Writes eventually fail; the writer flags itself broken and
-        // subsequent pushes are rejected.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        loop {
-            let r = w.push(vec![0u8; 4096], Duration::from_millis(50));
-            if r == Err(PushError::Closed) && w.is_broken() {
-                break;
-            }
-            assert!(Instant::now() < deadline, "writer never noticed the dead socket");
-        }
+        assert_eq!(next, [PER; PRODUCERS as usize]);
     }
 }

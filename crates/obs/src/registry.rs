@@ -249,6 +249,22 @@ pub mod names {
     /// Enqueues that found the per-connection write queue at or above its
     /// backpressure watermark (senders are throttling).
     pub const NET_BACKPRESSURE: &str = "net.backpressure_hits";
+    /// Frames accepted into per-connection write queues (data +
+    /// heartbeats); with `NET_FRAMES_FLUSHED` and `NET_FRAMES_DROPPED`
+    /// this obeys `enqueued == flushed + dropped` at quiescence.
+    pub const NET_FRAMES_ENQUEUED: &str = "net.frames_enqueued";
+    /// Frames discarded without reaching the wire (torn-down
+    /// connections' queue remnants and in-flight coalesce buffers).
+    pub const NET_FRAMES_DROPPED: &str = "net.frames_dropped";
+    /// Inbound frames rejected for a length prefix over `max_frame_len`.
+    pub const NET_OVERSIZE_REJECTED: &str = "net.oversize_rejected";
+    /// Connections evicted for stalling mid-handshake or mid-frame past
+    /// the read idle timeout.
+    pub const NET_IDLE_EVICTIONS: &str = "net.idle_evictions";
+    /// Connections currently owned by the event-loop threads (gauge).
+    pub const NET_CONNS_OPEN: &str = "net.conns_open";
+    /// Event-loop threads serving all of the transport's sockets (gauge).
+    pub const NET_LOOP_THREADS: &str = "net.loop_threads";
     /// Histogram of start_change → view-install span latency, µs.
     pub const SYNC_ROUND_LATENCY_US: &str = "span.sync_round_latency_us";
     /// Membership rounds entered by servers.

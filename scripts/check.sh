@@ -57,14 +57,27 @@ else
 fi
 
 # Net-bench smoke: a short loopback run of the codec/flush comparison
-# (JSON vs binary × per-send vs coalesced). Emits BENCH_net.json at the
-# repo root; an empty or missing file fails the gate.
+# (JSON vs binary × per-send vs coalesced) plus the connection-scaling
+# arms (16/256/4096 inbound connections into one fixed loop pool).
+# Emits BENCH_net.json at the repo root; an empty or missing file fails
+# the gate.
 echo "==> net-bench smoke (BENCH_net.json)"
 VSGM_NET_BENCH_MSGS="${VSGM_NET_BENCH_MSGS:-2000}" \
 VSGM_BENCH_BUDGET_MS="${VSGM_BENCH_BUDGET_MS:-50}" \
 VSGM_BENCH_JSON="$PWD/BENCH_net.json" \
     cargo bench -q -p vsgm-bench --bench net_throughput "${CARGO_FLAGS[@]}" >/dev/null
 test -s BENCH_net.json
+
+# Net-scaling smoke: the 16-connection arm alone, re-run against the
+# pinned pre-rewrite baseline (592,845 frames/s, the old transport's
+# binary-coalesced rate). The bench itself asserts the frames/s floor
+# and that the receiver's loop threads stayed within the configured
+# pool, and exits nonzero on either regression.
+echo "==> net-scaling smoke (16 conns >= pinned baseline)"
+VSGM_NET_SCALING_ONLY=1 \
+VSGM_NET_BENCH_CONNS=16 \
+VSGM_NET_SCALE_FLOOR="${VSGM_NET_SCALE_FLOOR:-592845}" \
+    cargo bench -q -p vsgm-bench --bench net_throughput "${CARGO_FLAGS[@]}"
 
 # GCS-bench smoke: the endpoint batching comparison (per-message vs
 # small/large batches) over the full group-multicast path on TCP
