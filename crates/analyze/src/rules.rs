@@ -23,9 +23,20 @@ pub const D1_CRATES: [&str; 6] = ["core", "membership", "types", "spec", "chaos"
 /// depend on it. The batching stage decides *what goes in a frame*
 /// from inputs only (`Input::Tick`); an ambient clock there would make
 /// frame boundaries — and hence the differential suite — unreplayable.
-pub const D1_FILES: [&str; 2] = ["crates/net/src/codec.rs", "crates/core/src/batch.rs"];
-/// Crates whose non-test code must be panic-free (P1).
-pub const P1_CRATES: [&str; 4] = ["core", "membership", "net", "spec"];
+/// The server's group instances and shard routing are pinned for the
+/// same reason the batch stage is: a hosted group's trace must be
+/// byte-identical to an isolated rerun (the multi-group differential
+/// suite), which an ambient clock or unordered map would break.
+pub const D1_FILES: [&str; 4] = [
+    "crates/net/src/codec.rs",
+    "crates/core/src/batch.rs",
+    "crates/server/src/group.rs",
+    "crates/server/src/shard.rs",
+];
+/// Crates whose non-test code must be panic-free (P1). The multi-group
+/// daemon (`server`) is included: one group's panic must never take
+/// down the shard-mates it is multiplexed with.
+pub const P1_CRATES: [&str; 5] = ["core", "membership", "net", "server", "spec"];
 /// Crates holding precondition/effect transition functions (I1).
 pub const I1_CRATES: [&str; 2] = ["core", "spec"];
 /// Crates whose threaded code is held to the lock discipline (R1): the
@@ -33,10 +44,18 @@ pub const I1_CRATES: [&str; 2] = ["core", "spec"];
 pub const R1_CRATES: [&str; 1] = ["net"];
 /// Files pinned under R1 *by path*, independent of [`R1_CRATES`]: the
 /// event-loop transport core, where a guard held across a blocking call
-/// stalls every connection the loop owns — not just one peer. A future
-/// edit to the crate list cannot silently drop these.
-pub const R1_FILES: [&str; 3] =
-    ["crates/net/src/tcp.rs", "crates/net/src/evloop.rs", "crates/net/src/writer.rs"];
+/// stalls every connection the loop owns — not just one peer, and the
+/// server's directory/shard/router modules, where the same mistake
+/// stalls every group on a shard. A future edit to the crate list
+/// cannot silently drop these.
+pub const R1_FILES: [&str; 6] = [
+    "crates/net/src/tcp.rs",
+    "crates/net/src/evloop.rs",
+    "crates/net/src/writer.rs",
+    "crates/server/src/directory.rs",
+    "crates/server/src/shard.rs",
+    "crates/server/src/server.rs",
+];
 /// Crates that must route all time through explicit inputs
 /// (`Input::Tick` / `vsgm-ioa` sim time) rather than the ambient clock
 /// (T1): everything except the real-transport layer (`net`, which

@@ -40,14 +40,34 @@
 
 use std::io;
 use vsgm_types::{
-    AppMsg, BaselineMsg, Cut, FwdPayload, NetMsg, ProcessId, StartChangeId, SyncPayload, View,
-    ViewId,
+    AppMsg, BaselineMsg, Cut, FwdPayload, GroupId, NetMsg, ProcessId, StartChangeId, SyncPayload,
+    View, ViewId,
 };
 
 /// Version byte opening every binary-coded frame body. Distinct from `{`
 /// (0x7B), the first byte of every JSON-coded body, so receivers can
 /// sniff the format per frame. Future binary revisions get new bytes.
 pub const BINARY_V1: u8 = 0x01;
+
+/// Version byte opening a *group-enveloped* frame body (the multi-group
+/// server protocol):
+///
+/// ```text
+/// envelope := 0x02 group:u64le inner_body
+/// ```
+///
+/// where `inner_body` is a complete single-group body — [`BINARY_V1`]
+/// binary or (when the receiver still accepts JSON) a serde_json object.
+/// The envelope adds exactly 9 bytes and no per-message allocation on
+/// the decode path: [`split_group_envelope`] hands back the group id and
+/// a borrowed inner-body slice, so the zero-copy
+/// [`decode_body_ref`] path applies unchanged to enveloped frames.
+///
+/// Legacy peers keep sending bare `0x01`/JSON bodies; receivers sniff
+/// the first byte per frame, so one connection can carry enveloped and
+/// single-group frames mixed (the same rolling-transition rule the
+/// binary/JSON split follows).
+pub const GROUP_ENVELOPE_V2: u8 = 0x02;
 
 const TAG_VIEW_MSG: u8 = 0;
 const TAG_APP: u8 = 1;
@@ -98,6 +118,74 @@ pub fn encode_frame(msg: &NetMsg, format: WireFormat) -> io::Result<Vec<u8>> {
     frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
     frame.extend_from_slice(&body);
     Ok(frame)
+}
+
+/// Encodes a message body wrapped in the [`GROUP_ENVELOPE_V2`] group
+/// envelope: `0x02 group:u64le inner_body`.
+///
+/// # Errors
+///
+/// Propagates [`encode_body`] errors (JSON serialization only).
+pub fn encode_body_grouped(group: GroupId, msg: &NetMsg, format: WireFormat) -> io::Result<Vec<u8>> {
+    let inner = encode_body(msg, format)?;
+    let mut out = Vec::with_capacity(9 + inner.len());
+    out.push(GROUP_ENVELOPE_V2);
+    out.extend_from_slice(&group.raw().to_le_bytes());
+    out.extend_from_slice(&inner);
+    Ok(out)
+}
+
+/// Encodes a complete length-prefixed, group-enveloped frame:
+/// `len:u32le 0x02 group:u64le inner_body`.
+///
+/// # Errors
+///
+/// Propagates [`encode_body_grouped`] errors.
+pub fn encode_frame_grouped(
+    group: GroupId,
+    msg: &NetMsg,
+    format: WireFormat,
+) -> io::Result<Vec<u8>> {
+    let body = encode_body_grouped(group, msg, format)?;
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
+/// Splits a [`GROUP_ENVELOPE_V2`] body into its group id and the
+/// borrowed inner body. Returns `None` for bodies that do not open with
+/// the envelope byte or are too short to carry the header — callers fall
+/// back to the single-group decoders in that case. Total: no input
+/// panics or allocates.
+pub fn split_group_envelope(body: &[u8]) -> Option<(GroupId, &[u8])> {
+    let (&first, rest) = body.split_first()?;
+    if first != GROUP_ENVELOPE_V2 {
+        return None;
+    }
+    let (gid, inner) = rest.split_first_chunk::<8>()?;
+    Some((GroupId::new(u64::from_le_bytes(*gid)), inner))
+}
+
+/// Decodes a frame body with group routing: enveloped bodies yield
+/// `(Some(group), msg)`, legacy single-group bodies — [`BINARY_V1`]
+/// binary or, when `accept_json` is set, JSON — yield `(None, msg)`.
+/// The inner body of an envelope follows the same sniffing rules, so an
+/// enveloped JSON body is only accepted while `accept_json` holds.
+/// Returns `None` for any malformed input (including an envelope whose
+/// inner body is empty or undecodable).
+pub fn decode_body_routed(body: &[u8], accept_json: bool) -> Option<(Option<GroupId>, NetMsg)> {
+    let (group, inner) = match split_group_envelope(body) {
+        Some((gid, inner)) => (Some(gid), inner),
+        None => (None, body),
+    };
+    let msg = match inner.first() {
+        Some(&BINARY_V1) => decode_body_ref(inner)?.into_owned(),
+        Some(&GROUP_ENVELOPE_V2) => return None, // envelopes never nest
+        Some(_) if accept_json => serde_json::from_slice(inner).ok()?,
+        _ => return None,
+    };
+    Some((group, msg))
 }
 
 /// Decodes a frame body, sniffing the format from its first byte:
@@ -737,6 +825,142 @@ mod tests {
             let owned = decode_body_ref(&soup).map(BodyRef::into_owned);
             assert_eq!(owned, decode_body(&soup), "ref/owned decoders disagree");
         }
+    }
+
+    /// Pinned golden bytes for the group envelope: `0x02 gid:u64le` then
+    /// a complete v1 inner body. Compatibility rule as for
+    /// [`golden_bytes_are_stable`] — mutating this layout means a new
+    /// version byte, not an edit to v2.
+    #[test]
+    fn golden_envelope_bytes_are_stable() {
+        let msg = NetMsg::App(AppMsg::from("ab"));
+        let body = encode_body_grouped(GroupId::new(7), &msg, WireFormat::Binary).unwrap();
+        let hex: String = body.iter().map(|b| format!("{b:02x}")).collect();
+        let expected = concat!(
+            "02",               // GROUP_ENVELOPE_V2
+            "0700000000000000", // group = 7 (u64le)
+            "01",               // inner: BINARY_V1
+            "01",               // inner tag: App
+            "02000000",         // payload len 2
+            "6162",             // "ab"
+        );
+        assert_eq!(hex, expected);
+        assert_eq!(decode_body_routed(&body, false), Some((Some(GroupId::new(7)), msg)));
+    }
+
+    #[test]
+    fn envelope_roundtrip_all_variants_both_formats() {
+        for gid in [GroupId::DIRECTORY, GroupId::new(1), GroupId::new(u64::MAX)] {
+            for m in sample_msgs() {
+                let bin = encode_body_grouped(gid, &m, WireFormat::Binary).unwrap();
+                assert_eq!(bin.first(), Some(&GROUP_ENVELOPE_V2));
+                assert_eq!(bin.len(), 9 + encode_body(&m, WireFormat::Binary).unwrap().len());
+                assert_eq!(decode_body_routed(&bin, false), Some((Some(gid), m.clone())));
+                let (g, inner) = split_group_envelope(&bin).expect("envelope splits");
+                assert_eq!(g, gid);
+                assert_eq!(decode_body(inner), Some(m.clone()), "inner is a complete body");
+
+                // JSON inner bodies ride the envelope too, gated by the
+                // same accept_json sniffing rule as bare frames.
+                let json = encode_body_grouped(gid, &m, WireFormat::Json).unwrap();
+                assert_eq!(decode_body_routed(&json, true), Some((Some(gid), m.clone())));
+                assert_eq!(decode_body_routed(&json, false), None, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_frame_is_length_prefixed_body() {
+        let msg = NetMsg::App(AppMsg::from("abc"));
+        let gid = GroupId::new(42);
+        let frame = encode_frame_grouped(gid, &msg, WireFormat::Binary).unwrap();
+        let (len, body) = frame.split_first_chunk::<4>().unwrap();
+        assert_eq!(u32::from_le_bytes(*len) as usize, body.len());
+        assert_eq!(decode_body_routed(body, false), Some((Some(gid), msg)));
+    }
+
+    /// Mixed-version interop during a rolling transition: legacy
+    /// single-group bodies (v1 binary or JSON) decode with no group,
+    /// enveloped bodies with theirs, on a per-frame sniffing basis.
+    #[test]
+    fn routed_decoder_accepts_legacy_single_group_frames() {
+        for m in sample_msgs() {
+            let bare_bin = encode_body(&m, WireFormat::Binary).unwrap();
+            assert_eq!(decode_body_routed(&bare_bin, false), Some((None, m.clone())));
+            let bare_json = encode_body(&m, WireFormat::Json).unwrap();
+            assert_eq!(decode_body_routed(&bare_json, true), Some((None, m.clone())));
+            assert_eq!(decode_body_routed(&bare_json, false), None, "{m:?}");
+        }
+    }
+
+    /// Totality of the routed decoder over a hostile corpus: truncations
+    /// (the whole 9-byte header range included), single-byte corruption,
+    /// empty/short envelopes, nested envelopes, and random soup claiming
+    /// the envelope byte never panic or alloc-bomb.
+    #[test]
+    fn routed_decoder_is_total_over_malformed_corpus() {
+        for m in sample_msgs() {
+            let body = encode_body_grouped(GroupId::new(9), &m, WireFormat::Binary).unwrap();
+            for cut_at in 0..body.len() {
+                let sliced = body.get(..cut_at).unwrap_or(&[]);
+                assert_eq!(
+                    decode_body_routed(sliced, true),
+                    None,
+                    "truncated envelope must reject ({m:?} at {cut_at})"
+                );
+            }
+            for i in 0..body.len() {
+                let mut mutated = body.clone();
+                if let Some(b) = mutated.get_mut(i) {
+                    *b = b.wrapping_add(1);
+                }
+                let _ = decode_body_routed(&mutated, true); // any verdict, no panic
+            }
+            // Trailing garbage after a valid inner body rejects the frame.
+            let mut padded = body.clone();
+            padded.push(0);
+            assert_eq!(decode_body_routed(&padded, true), None, "{m:?}");
+        }
+        // An envelope whose inner body is empty, or is itself an
+        // envelope, rejects: envelopes never nest.
+        let mut hdr = vec![GROUP_ENVELOPE_V2];
+        hdr.extend_from_slice(&3u64.to_le_bytes());
+        assert_eq!(decode_body_routed(&hdr, true), None, "empty inner body");
+        let mut nested = hdr.clone();
+        nested.extend_from_slice(&hdr);
+        assert_eq!(decode_body_routed(&nested, true), None, "nested envelope");
+        // Random soup, bare and with a claimed envelope byte; the routed
+        // decoder must agree with the single-group decoders modulo the
+        // envelope header.
+        let mut rng = SimRng::new(0xE17E10);
+        for _ in 0..4_000 {
+            let len = rng.range(0, 96) as usize;
+            let mut soup: Vec<u8> = (0..len).map(|_| rng.range(0, 256) as u8).collect();
+            let _ = decode_body_routed(&soup, true);
+            let _ = decode_body_routed(&soup, false);
+            soup.insert(0, GROUP_ENVELOPE_V2);
+            match (decode_body_routed(&soup, false), split_group_envelope(&soup)) {
+                (Some((Some(gid), msg)), Some((gid2, inner))) => {
+                    assert_eq!(gid, gid2);
+                    assert_eq!(decode_body(inner), Some(msg));
+                }
+                (Some(_), _) => unreachable!("claimed-envelope soup decoded without splitting"),
+                (None, _) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn split_group_envelope_is_explicit_about_short_headers() {
+        assert_eq!(split_group_envelope(&[]), None);
+        assert_eq!(split_group_envelope(&[GROUP_ENVELOPE_V2]), None);
+        assert_eq!(split_group_envelope(&[GROUP_ENVELOPE_V2, 1, 2, 3]), None);
+        assert_eq!(split_group_envelope(&[BINARY_V1, 0, 0, 0, 0, 0, 0, 0, 0]), None);
+        // Exactly the 9-byte header splits to an empty inner body; the
+        // routed decoder then rejects it, but the split itself is total.
+        let mut hdr = vec![GROUP_ENVELOPE_V2];
+        hdr.extend_from_slice(&5u64.to_le_bytes());
+        assert_eq!(split_group_envelope(&hdr), Some((GroupId::new(5), &[][..])));
     }
 
     #[test]

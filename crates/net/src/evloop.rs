@@ -40,7 +40,7 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
-use vsgm_types::{NetMsg, ProcessId};
+use vsgm_types::{GroupId, NetMsg, ProcessId};
 
 /// Ceiling for the idle-park tick: the longest a loop sleeps between
 /// scans when nothing is happening. Bounds worst-case first-byte
@@ -82,8 +82,11 @@ impl LoopCounters {
 
 /// Everything a loop thread needs from the transport.
 pub(crate) struct LoopCtx {
-    /// Delivery channel into `Transport::recv_timeout`.
-    pub tx: Sender<(ProcessId, NetMsg)>,
+    /// Delivery channel into `Transport::recv_timeout` /
+    /// `TcpTransport::recv_routed_timeout`. The middle component is the
+    /// group id carried by a v2 group envelope, or `None` for legacy
+    /// single-group frames.
+    pub tx: Sender<(ProcessId, Option<GroupId>, NetMsg)>,
     /// Flush/coalesce/conservation accounting (shared with senders).
     pub stats: Arc<WriterStats>,
     /// Loop-side counters above.
@@ -476,19 +479,26 @@ impl Conn {
                         // Partial frame: wait for the rest.
                         return Ok(());
                     };
-                    // Zero-copy decode: payload slices borrow from
-                    // `rbuf`; the one copy happens in `into_owned` at
-                    // the channel boundary.
-                    let msg = if body.first() == Some(&codec::BINARY_V1) {
-                        codec::decode_body_ref(body).map(BodyRef::into_owned)
-                    } else if cfg.accept_json {
-                        codec::decode_body(body)
-                    } else {
-                        None
+                    // Route by the optional v2 group envelope, then
+                    // zero-copy decode the inner body: payload slices
+                    // borrow from `rbuf`; the one copy happens in
+                    // `into_owned` at the channel boundary.
+                    let (group, inner) = match codec::split_group_envelope(body) {
+                        Some((gid, inner)) => (Some(gid), inner),
+                        None => (None, body),
+                    };
+                    let msg = match inner.first() {
+                        Some(&codec::BINARY_V1) => {
+                            codec::decode_body_ref(inner).map(BodyRef::into_owned)
+                        }
+                        // Envelopes never nest; treat as undecodable.
+                        Some(&codec::GROUP_ENVELOPE_V2) => None,
+                        _ if cfg.accept_json => codec::decode_body(inner),
+                        _ => None,
                     };
                     let Some(msg) = msg else { return Err(Retire::Poisoned) };
                     self.rstart += 4 + len;
-                    if ctx.tx.send((peer, msg)).is_err() {
+                    if ctx.tx.send((peer, group, msg)).is_err() {
                         return Err(Retire::Gone);
                     }
                 }

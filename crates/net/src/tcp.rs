@@ -73,7 +73,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vsgm_ioa::SimRng;
-use vsgm_types::{NetMsg, ProcSet, ProcessId};
+use vsgm_types::{GroupId, NetMsg, ProcSet, ProcessId};
 
 /// A point-to-point message transport for GCS end-points.
 ///
@@ -117,7 +117,7 @@ pub trait Transport: Send {
 pub struct TcpTransport {
     shared: Arc<TcpShared>,
     local_addr: SocketAddr,
-    incoming: Receiver<(ProcessId, NetMsg)>,
+    incoming: Receiver<(ProcessId, Option<GroupId>, NetMsg)>,
     config: TcpConfig,
     // vsgm-lock-tier(4): taken under a per-peer connect guard during
     // backoff; never held while taking any other lock.
@@ -465,6 +465,48 @@ impl TcpTransport {
         Ok(writer)
     }
 
+    /// Sends `msg` to every process in `to` wrapped in the v2 group
+    /// envelope for `group`, so a multi-group server routes it to the
+    /// right instance. Same fan-out/error semantics as
+    /// [`Transport::send`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transport::send`]: every destination is attempted and
+    /// failures are aggregated into one error.
+    pub fn send_to_group(&self, group: GroupId, to: &ProcSet, msg: &NetMsg) -> io::Result<()> {
+        let frame = codec::encode_frame_grouped(group, msg, self.config.wire_format)?;
+        let mut attempted = 0usize;
+        let mut failed: Vec<(ProcessId, io::Error)> = Vec::new();
+        for q in to {
+            if *q == self.shared.me {
+                continue;
+            }
+            attempted += 1;
+            if let Err(e) = self.enqueue(*q, &frame) {
+                failed.push((*q, e));
+            }
+        }
+        aggregate_send_errors(attempted, failed)
+    }
+
+    /// Receives the next incoming message with its routing group:
+    /// `Some(gid)` for frames that arrived in a v2 group envelope, `None`
+    /// for legacy single-group frames. Multi-group servers consume this;
+    /// single-group callers use [`Transport::recv_timeout`], which strips
+    /// the group.
+    pub fn recv_routed_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Option<(ProcessId, Option<GroupId>, NetMsg)> {
+        self.incoming.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking variant of [`TcpTransport::recv_routed_timeout`].
+    pub fn try_recv_routed(&self) -> Option<(ProcessId, Option<GroupId>, NetMsg)> {
+        self.incoming.try_recv().ok()
+    }
+
     /// Enqueues an encoded frame to one peer, translating queue outcomes
     /// into I/O errors and evicting the connection it observed broken.
     fn enqueue(&self, peer: ProcessId, frame: &[u8]) -> io::Result<()> {
@@ -531,11 +573,11 @@ impl Transport for TcpTransport {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<(ProcessId, NetMsg)> {
-        self.incoming.recv_timeout(timeout).ok()
+        self.incoming.recv_timeout(timeout).ok().map(|(p, _group, m)| (p, m))
     }
 
     fn try_recv(&self) -> Option<(ProcessId, NetMsg)> {
-        self.incoming.try_recv().ok()
+        self.incoming.try_recv().ok().map(|(p, _group, m)| (p, m))
     }
 }
 
@@ -906,6 +948,44 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "message never arrived");
             std::thread::sleep(Duration::from_millis(1));
         }
+    }
+
+    #[test]
+    fn grouped_send_routes_and_plain_recv_strips_the_group() {
+        let (a, b) = pair();
+        let g = GroupId::new(42);
+        a.send_to_group(g, &only(2), &NetMsg::App(AppMsg::from("grouped"))).unwrap();
+        a.send(&only(2), &NetMsg::App(AppMsg::from("legacy"))).unwrap();
+        // Routed recv sees the envelope's group on the first frame and
+        // None on the legacy frame; FIFO order per peer is preserved
+        // across grouped and legacy frames on one connection.
+        let (from, group, msg) =
+            b.recv_routed_timeout(Duration::from_secs(5)).expect("grouped frame arrives");
+        assert_eq!((from, group, msg), (p(1), Some(g), NetMsg::App(AppMsg::from("grouped"))));
+        let (from, group, msg) =
+            b.recv_routed_timeout(Duration::from_secs(5)).expect("legacy frame arrives");
+        assert_eq!((from, group, msg), (p(1), None, NetMsg::App(AppMsg::from("legacy"))));
+        // The single-group Transport view just strips the group.
+        a.send_to_group(g, &only(2), &NetMsg::App(AppMsg::from("stripped"))).unwrap();
+        let (_, msg) = b.recv_timeout(Duration::from_secs(5)).expect("message arrives");
+        assert_eq!(msg, NetMsg::App(AppMsg::from("stripped")));
+    }
+
+    #[test]
+    fn grouped_json_frames_route_under_accept_json() {
+        let a = TcpTransport::bind_with(
+            p(1),
+            "127.0.0.1:0",
+            TcpConfig { wire_format: WireFormat::Json, ..TcpConfig::default() },
+        )
+        .unwrap();
+        let b = TcpTransport::bind(p(2), "127.0.0.1:0").unwrap();
+        a.register_peer(p(2), b.local_addr());
+        let g = GroupId::new(7);
+        a.send_to_group(g, &only(2), &NetMsg::App(AppMsg::from("gjson"))).unwrap();
+        let (from, group, msg) =
+            b.recv_routed_timeout(Duration::from_secs(5)).expect("grouped json arrives");
+        assert_eq!((from, group, msg), (p(1), Some(g), NetMsg::App(AppMsg::from("gjson"))));
     }
 
     #[test]

@@ -161,6 +161,43 @@ proptest! {
         let _ = codec::decode_body(&bytes); // any verdict, never a panic
     }
 
+    /// Every `(GroupId, NetMsg)` pair round-trips through the v2 group
+    /// envelope in both wire formats, and the envelope header is exactly
+    /// `0x02 gid:u64le` in front of the single-group body.
+    #[test]
+    fn codec_group_envelope_roundtrips(gid in any::<u64>(), msg in arb_net_msg()) {
+        let gid = vsgm_types::GroupId::new(gid);
+        let bin = codec::encode_body_grouped(gid, &msg, WireFormat::Binary).expect("encode");
+        prop_assert_eq!(
+            codec::decode_body_routed(&bin, false),
+            Some((Some(gid), msg.clone()))
+        );
+        let (split_gid, inner) = codec::split_group_envelope(&bin).expect("split");
+        prop_assert_eq!(split_gid, gid);
+        prop_assert_eq!(inner, &codec::encode_body(&msg, WireFormat::Binary).expect("inner")[..]);
+        let json = codec::encode_body_grouped(gid, &msg, WireFormat::Json).expect("encode json");
+        prop_assert_eq!(
+            codec::decode_body_routed(&json, true),
+            Some((Some(gid), msg.clone()))
+        );
+        prop_assert_eq!(codec::decode_body_routed(&json, false), None);
+        // Legacy interop: the same message as a bare v1 body routes with
+        // no group id.
+        let bare = codec::encode_body(&msg, WireFormat::Binary).expect("bare");
+        prop_assert_eq!(codec::decode_body_routed(&bare, false), Some((None, msg)));
+    }
+
+    /// The routed decoder is total over arbitrary bytes, including bytes
+    /// that claim the envelope version.
+    #[test]
+    fn codec_routed_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode_body_routed(&bytes, true);
+        let _ = codec::decode_body_routed(&bytes, false);
+        let mut claimed = bytes;
+        claimed.insert(0, codec::GROUP_ENVELOPE_V2);
+        let _ = codec::decode_body_routed(&claimed, true);
+    }
+
     #[test]
     fn codec_rejects_trailing_garbage(msg in arb_net_msg(), tail in 1usize..8) {
         let mut bin = codec::encode_body(&msg, WireFormat::Binary).expect("encode");

@@ -282,6 +282,23 @@ pub mod names {
     pub const EP_AUDIT_RECONCILES: &str = "endpoint.audit_reconciliations";
     /// State-corruption faults injected by the chaos harness.
     pub const CHAOS_CORRUPTIONS: &str = "chaos.corruption_injected";
+    /// Group instances currently hosted by a multi-group server (gauge).
+    pub const SERVER_GROUPS_HOSTED: &str = "server.groups_hosted";
+    /// Shard workers the server routes groups across (gauge).
+    pub const SERVER_SHARDS: &str = "server.shards";
+    /// Enveloped frames routed to a hosted group instance.
+    pub const SERVER_FRAMES_ROUTED: &str = "server.frames_routed";
+    /// Frames dropped because their group id resolved to no instance.
+    pub const SERVER_FRAMES_UNROUTABLE: &str = "server.frames_unroutable";
+    /// Directory create requests that created a fresh group.
+    pub const SERVER_DIR_CREATES: &str = "server.directory_creates";
+    /// Directory create/join requests resolved onto an existing group
+    /// (including losers of a concurrent create race).
+    pub const SERVER_DIR_JOINS: &str = "server.directory_joins";
+    /// Directory lookups answered (hit or miss).
+    pub const SERVER_DIR_LOOKUPS: &str = "server.directory_lookups";
+    /// Directory leave requests processed.
+    pub const SERVER_DIR_LEAVES: &str = "server.directory_leaves";
 }
 
 #[cfg(test)]

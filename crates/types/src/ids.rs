@@ -95,6 +95,57 @@ impl fmt::Display for ViewId {
     }
 }
 
+/// Identity of a hosted multicast group on a multi-group server.
+///
+/// The paper's protocol is specified for one group; a production
+/// client-server deployment (§3) multiplexes many independent group
+/// instances over one shared transport. `GroupId` names one such
+/// instance: wire frames carry it in the group envelope
+/// (`vsgm-net`'s codec, version byte `0x02`), and the server shards
+/// protocol state by `gid → shard` so groups never contend.
+///
+/// ```
+/// use vsgm_types::GroupId;
+/// let g = GroupId::new(7);
+/// assert_eq!(g.raw(), 7);
+/// assert_eq!(g.to_string(), "g7");
+/// assert!(GroupId::DIRECTORY < g);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct GroupId(u64);
+
+impl GroupId {
+    /// The reserved control-plane group: frames enveloped to it carry
+    /// directory requests (create/join/lookup/leave), never protocol
+    /// traffic. Real groups get identifiers starting at 1.
+    pub const DIRECTORY: GroupId = GroupId(0);
+
+    /// Creates a group id from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        GroupId(raw)
+    }
+
+    /// Returns the raw integer identity.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<u64> for GroupId {
+    fn from(raw: u64) -> Self {
+        GroupId(raw)
+    }
+}
+
 /// A start-change identifier (the paper's `StartChangeId`).
 ///
 /// Start-change identifiers are *locally* unique and increasing per
@@ -199,5 +250,17 @@ mod tests {
     fn display_forms() {
         assert_eq!(ViewId::new(2, 1).to_string(), "v2.1");
         assert_eq!(StartChangeId::new(4).to_string(), "c4");
+        assert_eq!(GroupId::new(9).to_string(), "g9");
+    }
+
+    #[test]
+    fn group_id_directory_is_reserved_and_smallest() {
+        assert_eq!(GroupId::DIRECTORY.raw(), 0);
+        assert!(GroupId::DIRECTORY < GroupId::new(1));
+        let g = GroupId::from(3u64);
+        assert_eq!(g, GroupId::new(3));
+        let s = serde_json::to_string(&g).unwrap();
+        assert_eq!(s, "3", "transparent serde form");
+        assert_eq!(serde_json::from_str::<GroupId>(&s).unwrap(), g);
     }
 }

@@ -43,7 +43,7 @@ pub mod view;
 
 pub use cut::Cut;
 pub use event::Event;
-pub use ids::{ProcessId, StartChangeId, ViewId};
+pub use ids::{GroupId, ProcessId, StartChangeId, ViewId};
 pub use message::{AppMsg, BaselineMsg, FwdPayload, MsgIndex, NetMsg, SyncPayload};
 pub use view::View;
 

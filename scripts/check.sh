@@ -95,6 +95,31 @@ test -s BENCH_gcs.json
 echo "==> batching differential suite"
 cargo test -q -p vsgm-integration --test batching_differential "${CARGO_FLAGS[@]}" >/dev/null
 
+# Multi-group conformance: hosted groups must be byte-identical to
+# isolated reruns (≥50 randomized schedules plus the pinned same-shard
+# interleaving), and faults injected into one group must leave its
+# shard-mates untouched. Both suites are also part of `cargo test`; run
+# by name so a multiplexing regression fails with a readable stage.
+echo "==> multi-group differential + isolation suites"
+cargo test -q -p vsgm-integration --test multigroup_differential "${CARGO_FLAGS[@]}" >/dev/null
+cargo test -q -p vsgm-integration --test multigroup_chaos "${CARGO_FLAGS[@]}" >/dev/null
+
+# Group-scaling smoke (EXPERIMENTS.md E15): a reduced groups×clients
+# sweep through the real vsgm-server daemon on loopback. The bench
+# itself judges the run — every expected delivery observed, every
+# group's spec checkers green, zero unroutable frames — and asserts the
+# deliveries/s floor. Emits BENCH_groups.json at the repo root; an
+# empty or missing file fails the gate. (The committed headline run is
+# 1000 groups × 10 clients with the knobs at their defaults.)
+echo "==> group-scaling smoke (BENCH_groups.json)"
+VSGM_GROUPS="${VSGM_GROUPS:-64}" \
+VSGM_GROUP_CLIENTS="${VSGM_GROUP_CLIENTS:-4}" \
+VSGM_GROUP_SENDS="${VSGM_GROUP_SENDS:-64}" \
+VSGM_GROUPS_FLOOR="${VSGM_GROUPS_FLOOR:-100}" \
+VSGM_BENCH_JSON="$PWD/BENCH_groups.json" \
+    cargo bench -q -p vsgm-bench --bench group_scaling "${CARGO_FLAGS[@]}" >/dev/null
+test -s BENCH_groups.json
+
 # Chaos smoke: randomized fault-injection search over a fixed seed batch.
 # Every generated scenario must pass the full checker suite (exit 0); the
 # run is deterministic, so a failure here is a reproducible protocol bug —

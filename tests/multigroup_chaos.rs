@@ -1,0 +1,175 @@
+//! Group-isolation chaos regression: faults injected into ONE hosted
+//! group must leave its shard-mates completely undisturbed.
+//!
+//! Setup mirrors the worst case for isolation — three groups forced onto
+//! the *same* shard worker (gids 2, 4, 6 on a 2-shard pool), so any
+//! state bleed between instances sharing a thread shows up immediately.
+//! The middle group (gid 4) takes the faults; gids 2 and 6 run the same
+//! clean schedule throughout, and their traces are compared byte for
+//! byte against isolated fault-free reference runs:
+//!
+//! * within-envelope faults (crash/recover churn, partition/heal, a
+//!   lossy [`FaultPlan`]) keep every group's checkers green and the
+//!   shard-mates byte-identical;
+//! * the pinned leak scenario injects a state *corruption* — which by
+//!   design exceeds the spec envelope for the corrupted group — and
+//!   pins that the shard-mates' traces, checker verdicts, and fault
+//!   counters (`fault_injections == 0`, `corruptions == 0`) are all
+//!   untouched. The faulted group alone reports the corruption.
+
+use std::collections::BTreeMap;
+use vsgm_core::CorruptionKind;
+use vsgm_net::FaultPlan;
+use vsgm_server::{group_seed, GroupCmd, GroupInstance, GroupReport, ShardConfig, ShardPool};
+use vsgm_types::{AppMsg, GroupId, ProcessId};
+
+const BASE_SEED: u64 = 0xC4A0_5111;
+const CAPACITY: u64 = 3;
+
+fn p(i: u64) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// The clean schedule every group runs (the faulted group interleaves
+/// its fault commands between these).
+fn clean_schedule(gid: GroupId) -> Vec<GroupCmd> {
+    let tag = gid.raw();
+    vec![
+        GroupCmd::Join(p(1)),
+        GroupCmd::Join(p(2)),
+        GroupCmd::Join(p(3)),
+        GroupCmd::Send { from: p(1), msg: AppMsg::from(format!("g{tag}-a").as_str()) },
+        GroupCmd::Send { from: p(2), msg: AppMsg::from(format!("g{tag}-b").as_str()) },
+        GroupCmd::RunForMs(3),
+        GroupCmd::Send { from: p(3), msg: AppMsg::from(format!("g{tag}-c").as_str()) },
+        GroupCmd::Run,
+    ]
+}
+
+/// Runs one group alone (no faults) and returns its trace and report.
+fn isolated_reference(gid: GroupId) -> (String, GroupReport) {
+    let mut g = GroupInstance::new(gid, CAPACITY, group_seed(BASE_SEED, gid));
+    for cmd in clean_schedule(gid) {
+        g.apply(cmd);
+    }
+    g.run_to_quiescence();
+    assert!(g.finish().is_empty(), "reference {gid} must be clean");
+    (g.trace_json(), g.report())
+}
+
+/// What one trio run produced: the shard-mates' observations plus the
+/// faulted group's verdict and report.
+struct TrioOutcome {
+    /// gid → (trace, report) for the two clean shard-mates.
+    mates: BTreeMap<GroupId, (String, GroupReport)>,
+    /// Debug rendering of gid 4's checker verdict (`"[]"` when green).
+    faulted_verdict: String,
+    faulted_report: GroupReport,
+}
+
+/// Spawns the same-shard trio, round-robins the clean schedules, and
+/// splices `faults` into the middle group (gid 4) at step boundaries.
+fn run_trio_with_faults(faults: &[(usize, GroupCmd)]) -> TrioOutcome {
+    let gids = [GroupId::new(2), GroupId::new(4), GroupId::new(6)];
+    let pool = ShardPool::spawn(ShardConfig { shards: 2, auto_run: false, outputs: None });
+    for gid in &gids {
+        assert_eq!(pool.shard_of(*gid), 0, "trio must share one shard worker");
+        pool.create_group(*gid, CAPACITY, group_seed(BASE_SEED, *gid));
+    }
+    let schedules: BTreeMap<GroupId, Vec<GroupCmd>> =
+        gids.iter().map(|g| (*g, clean_schedule(*g))).collect();
+    let steps = schedules[&gids[0]].len();
+    for step in 0..steps {
+        for gid in &gids {
+            for (at, cmd) in faults {
+                if *at == step && *gid == GroupId::new(4) {
+                    pool.apply(*gid, cmd.clone());
+                }
+            }
+            pool.apply(*gid, schedules[gid][step].clone());
+        }
+    }
+    let mut mates = BTreeMap::new();
+    for gid in &gids {
+        pool.apply(*gid, GroupCmd::Run);
+    }
+    for gid in [GroupId::new(2), GroupId::new(6)] {
+        let trace = pool.trace_json(gid).expect("hosted trace");
+        let report = pool.report(gid).expect("hosted report");
+        // Shard-mate checkers must be green regardless of what happened
+        // to gid 4 (callers judge gid 4 themselves).
+        assert_eq!(pool.finish(gid), Some(vec![]), "shard-mate {gid} checkers disturbed");
+        mates.insert(gid, (trace, report));
+    }
+    let faulted = GroupId::new(4);
+    let faulted_verdict = format!("{:?}", pool.finish(faulted).expect("gid 4 hosted"));
+    let faulted_report = pool.report(faulted).expect("gid 4 report");
+    pool.shutdown();
+    TrioOutcome { mates, faulted_verdict, faulted_report }
+}
+
+/// Shard-mates must match their isolated fault-free references exactly.
+fn assert_mates_undisturbed(out: &TrioOutcome) {
+    for gid in [GroupId::new(2), GroupId::new(6)] {
+        let (ref_trace, ref_report) = isolated_reference(gid);
+        let (hosted_trace, hosted_report) = &out.mates[&gid];
+        assert_eq!(
+            hosted_trace, &ref_trace,
+            "{gid}: shard-mate trace disturbed by a fault in gid 4"
+        );
+        assert_eq!(hosted_report, &ref_report, "{gid}: shard-mate report disturbed");
+        assert_eq!(hosted_report.fault_injections, 0, "{gid}: leaked fault injections");
+        assert_eq!(hosted_report.corruptions, 0, "{gid}: leaked corruptions");
+    }
+}
+
+#[test]
+fn within_envelope_faults_stay_inside_their_group() {
+    // Crash/recover churn with the matching membership changes, plus a
+    // lossy-but-legal fault plan installed and later cleared — all into
+    // gid 4 only. Every group, including the faulted one, must end
+    // checker-green; the shard-mates must be byte-identical to their
+    // isolated references.
+    let faults = vec![
+        (3, GroupCmd::Faults(FaultPlan { drop: 0.3, ..FaultPlan::none() })),
+        (5, GroupCmd::Crash(p(3))),
+        (5, GroupCmd::Leave(p(3))),
+        (6, GroupCmd::Faults(FaultPlan::none())),
+        (6, GroupCmd::Recover(p(3))),
+        (6, GroupCmd::Join(p(3))),
+        (7, GroupCmd::Run),
+    ];
+    let out = run_trio_with_faults(&faults);
+    assert_mates_undisturbed(&out);
+    assert_eq!(out.faulted_verdict, "[]", "within-envelope faults must stay checker-green");
+    assert_eq!(out.faulted_report.corruptions, 0);
+}
+
+#[test]
+fn partition_and_heal_stay_inside_their_group() {
+    let faults = vec![
+        (4, GroupCmd::Partition(vec![vec![p(1), p(2)], vec![p(3)]])),
+        (5, GroupCmd::RunForMs(2)),
+        (6, GroupCmd::Heal),
+        (7, GroupCmd::Run),
+    ];
+    let out = run_trio_with_faults(&faults);
+    assert_mates_undisturbed(&out);
+    assert_eq!(out.faulted_verdict, "[]", "loss from a healed partition is within the envelope");
+}
+
+/// The pinned cross-group leak scenario: a state corruption in gid 4 —
+/// deliberately outside the spec envelope for that group — must not
+/// move a single byte, counter, or checker verdict in its shard-mates.
+/// This is the regression a shared-state multiplexer bug would trip
+/// first (shared RNG, shared audit cadence, shared checker state).
+#[test]
+fn pinned_corruption_does_not_leak_to_shard_mates() {
+    let faults = vec![
+        (4, GroupCmd::Corrupt { p: p(2), kind: CorruptionKind::ForgeMsgId }),
+        (6, GroupCmd::Run),
+    ];
+    let out = run_trio_with_faults(&faults);
+    assert_mates_undisturbed(&out);
+    assert_eq!(out.faulted_report.corruptions, 1, "the corruption landed in gid 4");
+}
